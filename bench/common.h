@@ -1,0 +1,61 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every bench regenerates one table/figure of the paper. They share the
+// OffsetStone-lite suite, the effort convention (RTMPLACE_EFFORT scales
+// GA/RW search effort; 1.0 = the paper's parameters) and the side-by-side
+// "paper vs measured" presentation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "offsetstone/suite.h"
+#include "sim/experiment.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace rtmp::benchtool {
+
+/// Default effort: fast enough for `for b in build/bench/*; do $b; done`
+/// to finish in minutes. Paper-scale: RTMPLACE_EFFORT=1.
+inline constexpr double kDefaultEffort = 0.05;
+
+inline double Effort() { return sim::SearchEffortFromEnv(kDefaultEffort); }
+
+inline void PrintEffortNote(double effort) {
+  std::printf("search effort: %.3g of the paper's GA/RW parameters "
+              "(set RTMPLACE_EFFORT=1 for paper scale)\n\n",
+              effort);
+}
+
+/// Names of all suite benchmarks, in Fig. 4 order.
+inline std::vector<std::string> SuiteNames() {
+  std::vector<std::string> names;
+  for (const auto& profile : offsetstone::SuiteProfiles()) {
+    names.push_back(profile.name);
+  }
+  return names;
+}
+
+/// "paper X / measured Y" cell helper.
+inline std::string PaperVsMeasured(double paper, double measured,
+                                   int digits = 2) {
+  return util::FormatFixed(paper, digits) + " / " +
+         util::FormatFixed(measured, digits);
+}
+
+/// Factor by which `strategy` reduces shifts relative to `baseline`
+/// (geomean over all benchmarks): baseline_shifts / strategy_shifts.
+inline double GeoMeanImprovement(const sim::ResultTable& table,
+                                 const std::vector<std::string>& benchmarks,
+                                 unsigned dbcs,
+                                 const core::StrategySpec& strategy,
+                                 const core::StrategySpec& baseline) {
+  const auto normalized =
+      table.NormalizedShifts(benchmarks, dbcs, strategy, baseline);
+  const double ratio = util::GeoMean(normalized);
+  return ratio == 0.0 ? 0.0 : 1.0 / ratio;
+}
+
+}  // namespace rtmp::benchtool

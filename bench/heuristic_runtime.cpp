@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) backing the paper's SIII-C
+// practicality argument: "Practicality in compilers demands fast-executing
+// heuristics, like the one we propose." The DMA analysis + distribution
+// runs in microseconds even on the suite's largest shapes, the intra
+// heuristics in tens of microseconds, while a single GA generation is
+// orders of magnitude more expensive — which is why the GA serves as an
+// offline baseline only.
+#include <benchmark/benchmark.h>
+
+#include "core/cost_model.h"
+#include "core/genetic.h"
+#include "core/inter_afd.h"
+#include "core/inter_dma.h"
+#include "core/intra_heuristics.h"
+#include "core/random_walk.h"
+#include "trace/generators.h"
+#include "trace/variable_stats.h"
+#include "util/rng.h"
+
+namespace {
+
+using rtmp::core::kUnboundedCapacity;
+
+/// Markov workload of `vars` variables and 8x as many accesses — the
+/// control-dominated shape that stresses the heuristics most.
+rtmp::trace::AccessSequence Workload(std::int64_t vars) {
+  rtmp::util::Rng rng(static_cast<std::uint64_t>(vars) * 977);
+  rtmp::trace::MarkovParams params;
+  params.num_vars = static_cast<std::size_t>(vars);
+  params.length = static_cast<std::size_t>(vars) * 8;
+  return GenerateMarkov(params, rng);
+}
+
+void BM_VariableStats(benchmark::State& state) {
+  const auto seq = Workload(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtmp::trace::ComputeVariableStats(seq));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(seq.size()));
+}
+BENCHMARK(BM_VariableStats)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DisjointSelection(benchmark::State& state) {
+  const auto seq = Workload(state.range(0));
+  const auto stats = rtmp::trace::ComputeVariableStats(seq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtmp::core::SelectDisjointVariables(stats));
+  }
+}
+BENCHMARK(BM_DisjointSelection)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AfdOfu(benchmark::State& state) {
+  const auto seq = Workload(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtmp::core::DistributeAfd(
+        seq, 8, kUnboundedCapacity, {rtmp::core::IntraHeuristic::kOfu}));
+  }
+}
+BENCHMARK(BM_AfdOfu)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DmaOfu(benchmark::State& state) {
+  const auto seq = Workload(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtmp::core::DistributeDma(
+        seq, 8, kUnboundedCapacity, {rtmp::core::IntraHeuristic::kOfu}));
+  }
+}
+BENCHMARK(BM_DmaOfu)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DmaChen(benchmark::State& state) {
+  const auto seq = Workload(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtmp::core::DistributeDma(
+        seq, 8, kUnboundedCapacity, {rtmp::core::IntraHeuristic::kChen}));
+  }
+}
+BENCHMARK(BM_DmaChen)->Arg(64)->Arg(256);
+
+void BM_DmaShiftsReduce(benchmark::State& state) {
+  const auto seq = Workload(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtmp::core::DistributeDma(
+        seq, 8, kUnboundedCapacity,
+        {rtmp::core::IntraHeuristic::kShiftsReduce}));
+  }
+}
+BENCHMARK(BM_DmaShiftsReduce)->Arg(64)->Arg(256);
+
+void BM_ShiftCostEvaluation(benchmark::State& state) {
+  const auto seq = Workload(state.range(0));
+  const auto placement =
+      rtmp::core::DistributeAfd(seq, 8, kUnboundedCapacity, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtmp::core::ShiftCost(seq, placement));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(seq.size()));
+}
+BENCHMARK(BM_ShiftCostEvaluation)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GaGeneration(benchmark::State& state) {
+  // Cost of ONE mu+lambda generation (mu = lambda = 100, the paper's
+  // parameters) including fitness evaluation of the offspring.
+  const auto seq = Workload(state.range(0));
+  for (auto _ : state) {
+    rtmp::core::GaOptions options;
+    options.generations = 1;
+    options.seed_with_heuristics = false;
+    benchmark::DoNotOptimize(
+        rtmp::core::RunGa(seq, 8, kUnboundedCapacity, options));
+  }
+}
+BENCHMARK(BM_GaGeneration)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_RandomWalk1k(benchmark::State& state) {
+  const auto seq = Workload(state.range(0));
+  for (auto _ : state) {
+    rtmp::core::RwOptions options;
+    options.iterations = 1000;
+    benchmark::DoNotOptimize(
+        rtmp::core::RunRandomWalk(seq, 8, kUnboundedCapacity, options));
+  }
+}
+BENCHMARK(BM_RandomWalk1k)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// DSP scenario: FIR filtering from an RTM scratchpad — and when
+// liveliness-aware placement does (and does not) pay off.
+//
+//   $ ./dsp_filter
+//
+// Part 1 replays a steady-state FIR loop: coefficients, delay line and
+// accumulator stay live for the whole run, so there are NO disjoint
+// lifespans for the paper's DMA heuristic to exploit — frequency-based
+// AFD and the GA are the right tools there.
+//
+// Part 2 restructures the same filter as a block pipeline (load block ->
+// filter -> emit block), the way streaming DSP firmware is actually
+// written: per-block buffers are fresh variables with disjoint lifespans
+// across blocks while the coefficients persist. That phase structure is
+// exactly what DMA's liveliness analysis extracts, and the ranking flips.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/strategy.h"
+#include "rtm/config.h"
+#include "sim/simulator.h"
+#include "trace/access_sequence.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using rtmp::trace::AccessSequence;
+using rtmp::trace::AccessType;
+using rtmp::trace::VariableId;
+
+/// Steady-state FIR: one delay line, processed sample by sample.
+AccessSequence SteadyFirTrace(std::size_t taps, std::size_t samples) {
+  AccessSequence seq;
+  std::vector<VariableId> coeff(taps);
+  std::vector<VariableId> delay(taps);
+  for (std::size_t k = 0; k < taps; ++k) {
+    coeff[k] = seq.AddVariable("c" + std::to_string(k));
+  }
+  for (std::size_t k = 0; k < taps; ++k) {
+    delay[k] = seq.AddVariable("z" + std::to_string(k));
+  }
+  const auto acc = seq.AddVariable("acc");
+  const auto io = seq.AddVariable("io");
+  for (std::size_t n = 0; n < samples; ++n) {
+    seq.Append(io);
+    seq.Append(delay[0], AccessType::kWrite);
+    seq.Append(acc, AccessType::kWrite);
+    for (std::size_t k = 0; k < taps; ++k) {
+      seq.Append(coeff[k]);
+      seq.Append(delay[k]);
+      seq.Append(acc, AccessType::kWrite);
+    }
+    for (std::size_t k = taps - 1; k > 0; --k) {
+      seq.Append(delay[k - 1]);
+      seq.Append(delay[k], AccessType::kWrite);
+    }
+    seq.Append(acc);
+    seq.Append(io, AccessType::kWrite);
+  }
+  return seq;
+}
+
+/// Block pipeline: each block gets fresh input/output buffers (disjoint
+/// lifespans across blocks); the coefficient table persists.
+AccessSequence BlockFirTrace(std::size_t taps, std::size_t blocks,
+                             std::size_t block_len) {
+  AccessSequence seq;
+  std::vector<VariableId> coeff(taps);
+  for (std::size_t k = 0; k < taps; ++k) {
+    coeff[k] = seq.AddVariable("c" + std::to_string(k));
+  }
+  const auto acc = seq.AddVariable("acc");
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::string tag = "b" + std::to_string(b) + "_";
+    std::vector<VariableId> in(block_len);
+    std::vector<VariableId> out(block_len);
+    for (std::size_t i = 0; i < block_len; ++i) {
+      in[i] = seq.AddVariable(tag + "in" + std::to_string(i));
+      out[i] = seq.AddVariable(tag + "out" + std::to_string(i));
+    }
+    // Load phase: DMA-in the block.
+    for (std::size_t i = 0; i < block_len; ++i) {
+      seq.Append(in[i], AccessType::kWrite);
+    }
+    // Filter phase: out[i] = sum_k c[k] * in[i-k] (clamped window).
+    for (std::size_t i = 0; i < block_len; ++i) {
+      seq.Append(acc, AccessType::kWrite);
+      for (std::size_t k = 0; k < taps && k <= i; ++k) {
+        seq.Append(coeff[k]);
+        seq.Append(in[i - k]);
+      }
+      seq.Append(acc);
+      seq.Append(out[i], AccessType::kWrite);
+    }
+    // Emit phase: stream the block out.
+    for (std::size_t i = 0; i < block_len; ++i) seq.Append(out[i]);
+  }
+  return seq;
+}
+
+void Compare(const char* title, const AccessSequence& seq) {
+  using namespace rtmp;
+  std::printf("%s: %zu accesses over %zu variables\n", title, seq.size(),
+              seq.num_variables());
+  core::StrategyOptions options;
+  core::ScaleSearchEffort(options, 0.2);
+  util::TextTable table;
+  table.SetHeader({"DBCs", "strategy", "shifts", "runtime [us]",
+                   "energy [nJ]", "vs afd-ofu"});
+  table.SetAlignments({util::Align::kRight, util::Align::kLeft,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+  for (const unsigned dbcs : {4u, 8u}) {
+    const rtm::RtmConfig config = rtm::RtmConfig::Paper(dbcs);
+    double baseline_shifts = 0.0;
+    for (const char* name : {"afd-ofu", "dma-ofu", "dma-sr", "ga"}) {
+      const auto spec = *core::ParseStrategy(name);
+      const core::Placement placement = core::RunStrategy(
+          spec, seq, config.total_dbcs(), config.domains_per_dbc, options);
+      const sim::SimulationResult r = sim::Simulate(seq, placement, config);
+      const auto shifts = static_cast<double>(r.stats.shifts);
+      if (std::string_view(name) == "afd-ofu") baseline_shifts = shifts;
+      const std::string factor =
+          shifts == 0.0 ? "-"
+                        : util::FormatFixed(baseline_shifts / shifts, 2) + "x";
+      table.AddRow({std::to_string(dbcs), name,
+                    std::to_string(r.stats.shifts),
+                    util::FormatFixed(r.stats.runtime_ns / 1000.0, 2),
+                    util::FormatFixed(r.energy.total_pj() / 1000.0, 2),
+                    factor});
+    }
+    table.AddRule();
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Part 1: steady-state FIR (every variable lives forever) "
+              "==\n\n");
+  Compare("steady FIR (16 taps, 48 samples)", SteadyFirTrace(16, 48));
+  std::printf(
+      "No disjoint lifespans exist, so DMA cannot separate anything and the\n"
+      "frequency-driven baselines (and the GA) lead — the regime the paper\n"
+      "calls out where liveliness information adds nothing.\n\n");
+
+  std::printf("== Part 2: block-pipeline FIR (fresh buffers per block) "
+              "==\n\n");
+  Compare("block FIR (12 taps, 8 blocks of 24)", BlockFirTrace(12, 8, 24));
+  std::printf(
+      "Per-block buffers die at block boundaries: DMA steers them into\n"
+      "dedicated DBCs in access order and keeps the persistent coefficient\n"
+      "table separate — the phase structure behind the paper's gains. Note\n"
+      "that the convolution's backward window (in[i-k]) still needs the SR\n"
+      "intra heuristic in the leftover DBCs; plain DMA-OFU is not enough.\n");
+  return 0;
+}

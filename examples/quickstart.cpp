@@ -1,0 +1,75 @@
+// Quickstart: place a small program trace into a racetrack memory and
+// compare the paper's strategies.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API in ~80 lines: build an access
+// sequence, run AFD/DMA/GA placements, evaluate shift costs analytically,
+// then replay the best placement on the simulated 4 KiB RTM device and
+// read latency + energy.
+#include <cstdio>
+
+#include "core/cost_model.h"
+#include "core/inter_dma.h"
+#include "core/strategy.h"
+#include "rtm/config.h"
+#include "sim/simulator.h"
+#include "trace/access_sequence.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rtmp;
+
+  // 1. A memory trace: the paper's Fig. 3 example sequence. Variables are
+  //    registered up front; accesses reference them in program order.
+  trace::AccessSequence seq;
+  for (char c = 'a'; c <= 'i'; ++c) seq.AddVariable(std::string(1, c));
+  for (const char c : std::string_view("ababcacaddaiefefgeghgihi")) {
+    seq.Append(*seq.FindVariable(std::string_view(&c, 1)));
+  }
+  std::printf("Trace: %zu accesses over %zu variables\n\n", seq.size(),
+              seq.num_variables());
+
+  // 2. An RTM: the paper's 4 KiB part with 2 DBCs (512 domains each).
+  const rtm::RtmConfig config = rtm::RtmConfig::Paper(2);
+
+  // 3. Run every strategy of the paper's evaluation (plus extensions) and
+  //    collect shift costs under the paper's cost model.
+  core::StrategyOptions options;  // paper-scale GA/RW effort is fine here
+  util::TextTable table;
+  table.SetHeader({"strategy", "shifts", "runtime [ns]", "energy [pJ]"});
+  table.SetAlignments({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+  for (const char* name :
+       {"afd-ofu", "dma-ofu", "dma-chen", "dma-sr", "dma2-sr", "ga", "rw"}) {
+    const auto spec = *core::ParseStrategy(name);
+    const core::Placement placement = core::RunStrategy(
+        spec, seq, config.total_dbcs(), config.domains_per_dbc, options);
+
+    // 4. Analytic cost and full device simulation agree on shifts; the
+    //    simulation adds latency and the energy breakdown.
+    const sim::SimulationResult result = sim::Simulate(seq, placement, config);
+    table.AddRow({name, std::to_string(result.stats.shifts),
+                  util::FormatFixed(result.stats.runtime_ns, 2),
+                  util::FormatFixed(result.energy.total_pj(), 2)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  // 5. Inspect one placement in detail.
+  const auto dma = core::DistributeDma(seq, config.total_dbcs(),
+                                       config.domains_per_dbc,
+                                       {core::IntraHeuristic::kShiftsReduce});
+  std::printf("\nDMA-SR layout (disjoint variables get DBC 0..%u):\n",
+              dma.disjoint_dbc_count - 1);
+  for (std::uint32_t d = 0; d < dma.placement.num_dbcs(); ++d) {
+    std::printf("  DBC%u:", d);
+    for (const auto v : dma.placement.dbc(d)) {
+      std::printf(" %s", seq.name_of(v).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper reference for this trace: AFD layout = 39 shifts,\n"
+              "sequence-aware layout = 11 shifts (3.54x, Fig. 3).\n");
+  return 0;
+}

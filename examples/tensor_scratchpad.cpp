@@ -1,0 +1,116 @@
+// Tensor-contraction scenario: a tiled matrix multiply streaming its
+// operands through an RTM scratchpad.
+//
+//   $ ./tensor_scratchpad
+//
+// The paper's related work (Khan et al., LCTES'19) reports large wins from
+// shift-aware data placement for tensor contractions on RTM scratchpads.
+// This example rebuilds that workload shape: C[i][j] += A[i][k] * B[k][j]
+// over tiles small enough to live in the scratchpad, with each scalar tile
+// element a placement-managed variable. Phases (tiles) have disjoint
+// lifespans — exactly what DMA separates from persistent accumulators.
+#include <cstdio>
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/inter_dma.h"
+#include "core/strategy.h"
+#include "util/stats.h"
+#include "rtm/config.h"
+#include "sim/simulator.h"
+#include "trace/access_sequence.h"
+#include "util/table.h"
+
+namespace {
+
+/// Trace of a tiled matmul: for each of `tiles` (k-)tiles, stream a fresh
+/// A-tile and B-tile (disjoint lifespans across tiles) against persistent
+/// C accumulators.
+rtmp::trace::AccessSequence MatmulTrace(std::size_t n, std::size_t tiles) {
+  using rtmp::trace::AccessType;
+  rtmp::trace::AccessSequence seq;
+  // Persistent accumulators C[i][j].
+  std::vector<rtmp::trace::VariableId> c(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      c[i * n + j] =
+          seq.AddVariable("C" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  for (std::size_t t = 0; t < tiles; ++t) {
+    // Per-tile operands: new variables each tile -> disjoint lifespans.
+    std::vector<rtmp::trace::VariableId> a(n * n);
+    std::vector<rtmp::trace::VariableId> b(n * n);
+    const std::string tag = "t" + std::to_string(t) + "_";
+    for (std::size_t i = 0; i < n * n; ++i) {
+      a[i] = seq.AddVariable("A" + tag + std::to_string(i));
+      b[i] = seq.AddVariable("B" + tag + std::to_string(i));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          seq.Append(a[i * n + k]);
+          seq.Append(b[k * n + j]);
+          seq.Append(c[i * n + j], AccessType::kWrite);
+        }
+      }
+    }
+  }
+  return seq;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rtmp;
+
+  constexpr std::size_t kTile = 4;   // 4x4 tiles
+  constexpr std::size_t kTiles = 6;  // six k-tiles
+  const trace::AccessSequence seq = MatmulTrace(kTile, kTiles);
+  std::printf("Tiled matmul: %zux%zu tiles x %zu -> %zu accesses over %zu"
+              " variables\n\n",
+              kTile, kTile, kTiles, seq.size(), seq.num_variables());
+
+  const rtm::RtmConfig config = rtm::RtmConfig::Paper(4);
+
+  // What does the liveliness analysis see? Per-tile operands are disjoint
+  // across tiles; the C accumulators span everything.
+  const auto dma =
+      core::DistributeDma(seq, config.total_dbcs(), config.domains_per_dbc,
+                          {core::IntraHeuristic::kShiftsReduce});
+  std::printf("DMA found %zu disjoint-lifespan variables -> %u dedicated"
+              " DBC(s)\n\n",
+              dma.disjoint.size(), dma.disjoint_dbc_count);
+
+  core::StrategyOptions options;
+  core::ScaleSearchEffort(options, 0.1);
+  util::TextTable table;
+  table.SetHeader({"strategy", "shifts", "shifts/access", "runtime [us]",
+                   "energy [nJ]"});
+  table.SetAlignments({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight});
+  for (const char* name :
+       {"afd-ofu", "dma-ofu", "dma-chen", "dma-sr", "dma2-sr", "rw"}) {
+    const auto spec = *core::ParseStrategy(name);
+    const core::Placement placement = core::RunStrategy(
+        spec, seq, config.total_dbcs(), config.domains_per_dbc, options);
+    const sim::SimulationResult r = sim::Simulate(seq, placement, config);
+    table.AddRow(
+        {name, std::to_string(r.stats.shifts),
+         util::FormatFixed(static_cast<double>(r.stats.shifts) /
+                               static_cast<double>(r.stats.accesses()),
+                           3),
+         util::FormatFixed(r.stats.runtime_ns / 1000.0, 2),
+         util::FormatFixed(r.energy.total_pj() / 1000.0, 2)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nWithin a tile the A/B operands interleave heavily, so the greedy\n"
+      "disjoint-set selection only captures a slice of each tile; the win\n"
+      "comes from SR's clustering on top of the disjoint separation.\n"
+      "dma2-sr (multi-set extension, paper SVI future work) only pays off\n"
+      "when each extracted set carries real traffic — compare the bench\n"
+      "ablation_dma for workloads where it does.\n");
+  return 0;
+}

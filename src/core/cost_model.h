@@ -1,0 +1,53 @@
+// Shift-cost model (§II-B): the number of one-domain shift operations an RTM
+// controller executes to serve an access sequence under a given placement.
+//
+// The cost between two consecutive same-DBC accesses u, v is the distance
+// between their offsets (single port), or the cheapest port alignment
+// (multi-port). Accesses to other DBCs in between do not disturb a DBC's
+// alignment, so the total decomposes into independent per-DBC walks — the
+// identity the paper's Fig. 3 example uses (39 = 24 + 15).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/placement.h"
+#include "rtm/config.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::core {
+
+struct CostOptions {
+  /// Paper convention kFirstAccess: each DBC's first access is free.
+  rtm::InitialAlignment initial_alignment =
+      rtm::InitialAlignment::kFirstAccess;
+  /// Port offsets inside a DBC. One entry = the paper's single-port model
+  /// (shift cost |pos(u) - pos(v)| regardless of the port's own offset).
+  std::vector<std::uint32_t> port_offsets{0};
+  /// Domains per DBC; only needed to bound port offsets in multi-port mode.
+  /// 0 derives it from the placement's capacity or content.
+  std::uint32_t domains_per_dbc = 0;
+};
+
+/// Total shift cost of `seq` under `placement`. Every accessed variable must
+/// be placed (throws std::logic_error otherwise).
+[[nodiscard]] std::uint64_t ShiftCost(const trace::AccessSequence& seq,
+                                      const Placement& placement,
+                                      const CostOptions& options = {});
+
+/// Per-DBC decomposition; sums to ShiftCost.
+[[nodiscard]] std::vector<std::uint64_t> PerDbcShiftCost(
+    const trace::AccessSequence& seq, const Placement& placement,
+    const CostOptions& options = {});
+
+/// Walk cost of an access list over an explicit order (offset = index in
+/// `order`), single port, first access free unless `first_access_pays`.
+/// The intra-DBC heuristics use this to evaluate candidate orders of one
+/// DBC without building a full Placement.
+[[nodiscard]] std::uint64_t WalkCost(std::span<const trace::Access> accesses,
+                                     std::span<const VariableId> order,
+                                     std::size_t num_variables,
+                                     bool first_access_pays = false);
+
+}  // namespace rtmp::core

@@ -1,0 +1,385 @@
+#include "core/intra_heuristics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "trace/access_graph.h"
+
+namespace rtmp::core {
+
+namespace {
+
+constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+
+/// Local view of one DBC's subproblem: dense local ids for the subset,
+/// frequencies and an adjacency structure from the restricted accesses.
+struct LocalProblem {
+  std::vector<VariableId> globals;              // local -> global id
+  std::vector<std::uint64_t> frequency;         // by local id
+  std::vector<std::vector<trace::AccessGraph::Edge>> adjacency;  // local ids
+  std::vector<VariableId> unused;               // subset vars never accessed
+
+  [[nodiscard]] std::size_t size() const noexcept { return globals.size(); }
+};
+
+LocalProblem BuildLocal(std::span<const trace::Access> accesses,
+                        std::span<const VariableId> vars,
+                        std::size_t num_variables) {
+  std::vector<std::size_t> to_local(num_variables, kNoIndex);
+  std::vector<bool> in_subset(num_variables, false);
+  for (const VariableId v : vars) in_subset.at(v) = true;
+
+  LocalProblem local;
+  // Assign local ids by order of first access for determinism.
+  std::vector<trace::Access> restricted;
+  restricted.reserve(accesses.size());
+  for (const trace::Access& a : accesses) {
+    if (!in_subset[a.variable]) continue;
+    restricted.push_back(a);
+    if (to_local[a.variable] == kNoIndex) {
+      to_local[a.variable] = local.globals.size();
+      local.globals.push_back(a.variable);
+    }
+  }
+  // Subset variables never accessed, ascending id.
+  std::vector<VariableId> unused(vars.begin(), vars.end());
+  std::sort(unused.begin(), unused.end());
+  for (const VariableId v : unused) {
+    if (to_local[v] == kNoIndex) local.unused.push_back(v);
+  }
+
+  const std::size_t n = local.globals.size();
+  local.frequency.assign(n, 0);
+  local.adjacency.assign(n, {});
+  std::unordered_map<std::uint64_t, std::uint64_t> weights;
+  std::size_t prev = kNoIndex;
+  for (const trace::Access& a : restricted) {
+    const std::size_t cur = to_local[a.variable];
+    ++local.frequency[cur];
+    if (prev != kNoIndex && prev != cur) {
+      const std::uint64_t lo = std::min(prev, cur);
+      const std::uint64_t hi = std::max(prev, cur);
+      ++weights[(lo << 32) | hi];
+    }
+    prev = cur;
+  }
+  for (const auto& [key, weight] : weights) {
+    const auto u = static_cast<std::size_t>(key >> 32);
+    const auto v = static_cast<std::size_t>(key & 0xFFFFFFFFULL);
+    local.adjacency[u].push_back({static_cast<VariableId>(v), weight});
+    local.adjacency[v].push_back({static_cast<VariableId>(u), weight});
+  }
+  for (auto& edges : local.adjacency) {
+    std::sort(edges.begin(), edges.end(),
+              [](const auto& a, const auto& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+  return local;
+}
+
+std::vector<VariableId> FinishOrder(const LocalProblem& local,
+                                    const std::vector<std::size_t>& sequence) {
+  std::vector<VariableId> order;
+  order.reserve(sequence.size() + local.unused.size());
+  for (const std::size_t l : sequence) order.push_back(local.globals[l]);
+  order.insert(order.end(), local.unused.begin(), local.unused.end());
+  return order;
+}
+
+std::vector<VariableId> OfuOrder(const LocalProblem& local) {
+  // Local ids were assigned in first-access order already.
+  std::vector<std::size_t> sequence(local.size());
+  for (std::size_t i = 0; i < sequence.size(); ++i) sequence[i] = i;
+  return FinishOrder(local, sequence);
+}
+
+/// Seed vertex for the greedy heuristics: highest frequency, tie broken by
+/// lower global id.
+std::size_t SeedVertex(const LocalProblem& local) {
+  std::size_t best = 0;
+  for (std::size_t v = 1; v < local.size(); ++v) {
+    const bool better =
+        local.frequency[v] > local.frequency[best] ||
+        (local.frequency[v] == local.frequency[best] &&
+         local.globals[v] < local.globals[best]);
+    if (better) best = v;
+  }
+  return best;
+}
+
+/// Shared greedy skeleton for kChen/kShiftsReduce: repeatedly take the
+/// unplaced vertex with the largest total weight to the placed set and let
+/// `choose_front` decide which end it is appended to.
+template <typename ChooseFront>
+std::vector<std::size_t> GrowChain(const LocalProblem& local,
+                                   ChooseFront&& choose_front) {
+  const std::size_t n = local.size();
+  std::vector<std::size_t> chain;
+  if (n == 0) return chain;
+  std::vector<bool> placed(n, false);
+  std::vector<std::uint64_t> gain(n, 0);
+
+  std::deque<std::size_t> order;
+  auto place = [&](std::size_t v) {
+    placed[v] = true;
+    for (const auto& e : local.adjacency[v]) {
+      if (!placed[e.neighbor]) gain[e.neighbor] += e.weight;
+    }
+  };
+
+  const std::size_t seed = SeedVertex(local);
+  order.push_back(seed);
+  place(seed);
+
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t best = kNoIndex;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      if (best == kNoIndex) {
+        best = v;
+        continue;
+      }
+      const bool better =
+          gain[v] > gain[best] ||
+          (gain[v] == gain[best] &&
+           (local.frequency[v] > local.frequency[best] ||
+            (local.frequency[v] == local.frequency[best] &&
+             local.globals[v] < local.globals[best])));
+      if (better) best = v;
+    }
+    if (choose_front(best, order)) order.push_front(best);
+    else order.push_back(best);
+    place(best);
+  }
+  chain.assign(order.begin(), order.end());
+  return chain;
+}
+
+std::uint64_t EdgeWeightBetween(const LocalProblem& local, std::size_t u,
+                                std::size_t v) {
+  for (const auto& e : local.adjacency[u]) {
+    if (e.neighbor == v) return e.weight;
+  }
+  return 0;
+}
+
+std::vector<std::size_t> ChenChain(const LocalProblem& local) {
+  return GrowChain(local, [&local](std::size_t v,
+                                   const std::deque<std::size_t>& order) {
+    // Attach to the end the candidate is more strongly connected to.
+    const std::uint64_t to_front = EdgeWeightBetween(local, v, order.front());
+    const std::uint64_t to_back = EdgeWeightBetween(local, v, order.back());
+    return to_front > to_back;
+  });
+}
+
+/// Greedy maximum-weight path cover: accept edges by descending weight when
+/// both endpoints still have a free slot (degree < 2) and the edge closes
+/// no cycle; stitch the resulting paths together, heaviest first.
+std::vector<std::size_t> GreedyEdgeChain(const LocalProblem& local) {
+  const std::size_t n = local.size();
+  std::vector<std::size_t> chain;
+  if (n == 0) return chain;
+
+  struct WeightedEdge {
+    std::size_t u = 0;
+    std::size_t v = 0;
+    std::uint64_t weight = 0;
+  };
+  std::vector<WeightedEdge> edges;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& e : local.adjacency[u]) {
+      if (u < e.neighbor) edges.push_back({u, e.neighbor, e.weight});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+
+  // Union-find over path fragments; degree caps keep fragments simple paths.
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  std::vector<int> degree(n, 0);
+  std::vector<std::vector<std::size_t>> accepted(n);
+  const auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const WeightedEdge& e : edges) {
+    if (degree[e.u] >= 2 || degree[e.v] >= 2) continue;
+    const std::size_t ru = find(e.u);
+    const std::size_t rv = find(e.v);
+    if (ru == rv) continue;  // would close a cycle
+    parent[ru] = rv;
+    ++degree[e.u];
+    ++degree[e.v];
+    accepted[e.u].push_back(e.v);
+    accepted[e.v].push_back(e.u);
+  }
+
+  // Walk each path fragment from one of its endpoints; singletons follow.
+  // Fragments are emitted in order of their heaviest member's frequency so
+  // hot paths sit together near the front.
+  std::vector<bool> visited(n, false);
+  std::vector<std::vector<std::size_t>> fragments;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (visited[start] || accepted[start].size() == 2) continue;
+    // start is an endpoint (degree 0 or 1) of an unvisited fragment.
+    std::vector<std::size_t> fragment;
+    std::size_t prev = n;  // sentinel
+    std::size_t cur = start;
+    for (;;) {
+      visited[cur] = true;
+      fragment.push_back(cur);
+      std::size_t next = n;
+      for (const std::size_t cand : accepted[cur]) {
+        if (cand != prev) {
+          next = cand;
+          break;
+        }
+      }
+      if (next == n) break;
+      prev = cur;
+      cur = next;
+    }
+    fragments.push_back(std::move(fragment));
+  }
+  std::sort(fragments.begin(), fragments.end(),
+            [&local](const auto& a, const auto& b) {
+              std::uint64_t fa = 0;
+              std::uint64_t fb = 0;
+              for (const auto v : a) fa = std::max(fa, local.frequency[v]);
+              for (const auto v : b) fb = std::max(fb, local.frequency[v]);
+              if (fa != fb) return fa > fb;
+              return local.globals[a.front()] < local.globals[b.front()];
+            });
+  for (const auto& fragment : fragments) {
+    chain.insert(chain.end(), fragment.begin(), fragment.end());
+  }
+  return chain;
+}
+
+std::vector<std::size_t> ShiftsReduceChain(const LocalProblem& local) {
+  auto chain = GrowChain(local, [&local](std::size_t v,
+                                         const std::deque<std::size_t>& order) {
+    // Distance-discounted attachment: an edge to a variable i positions from
+    // an end would cost (i+1) shifts per traversal if we append at that end.
+    double front_score = 0.0;
+    double back_score = 0.0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::uint64_t w_front = EdgeWeightBetween(local, v, order[i]);
+      if (w_front != 0) {
+        front_score += static_cast<double>(w_front) / static_cast<double>(i + 1);
+      }
+      const std::uint64_t w_back =
+          EdgeWeightBetween(local, v, order[order.size() - 1 - i]);
+      if (w_back != 0) {
+        back_score += static_cast<double>(w_back) / static_cast<double>(i + 1);
+      }
+    }
+    return front_score > back_score;
+  });
+
+  // Local refinement: adjacent transpositions on the exact edge-sum
+  // objective until a fixed point (bounded pass count for safety).
+  const std::size_t n = chain.size();
+  if (n < 2) return chain;
+  std::vector<std::int64_t> pos(n, 0);
+  for (std::size_t i = 0; i < n; ++i) pos[chain[i]] = static_cast<std::int64_t>(i);
+
+  auto swap_delta = [&](std::size_t p) {
+    // Swapping chain[p] (u) and chain[p+1] (w).
+    const std::size_t u = chain[p];
+    const std::size_t w = chain[p + 1];
+    std::int64_t delta = 0;
+    for (const auto& e : local.adjacency[u]) {
+      if (e.neighbor == w) continue;
+      const std::int64_t x = pos[e.neighbor];
+      const auto wt = static_cast<std::int64_t>(e.weight);
+      delta += wt * (std::llabs(static_cast<std::int64_t>(p + 1) - x) -
+                     std::llabs(static_cast<std::int64_t>(p) - x));
+    }
+    for (const auto& e : local.adjacency[w]) {
+      if (e.neighbor == u) continue;
+      const std::int64_t x = pos[e.neighbor];
+      const auto wt = static_cast<std::int64_t>(e.weight);
+      delta += wt * (std::llabs(static_cast<std::int64_t>(p) - x) -
+                     std::llabs(static_cast<std::int64_t>(p + 1) - x));
+    }
+    return delta;
+  };
+
+  constexpr std::size_t kMaxPasses = 64;
+  for (std::size_t pass = 0; pass < kMaxPasses; ++pass) {
+    bool improved = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      if (swap_delta(p) < 0) {
+        std::swap(chain[p], chain[p + 1]);
+        pos[chain[p]] = static_cast<std::int64_t>(p);
+        pos[chain[p + 1]] = static_cast<std::int64_t>(p + 1);
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::string_view ToString(IntraHeuristic heuristic) noexcept {
+  switch (heuristic) {
+    case IntraHeuristic::kNone: return "none";
+    case IntraHeuristic::kOfu: return "ofu";
+    case IntraHeuristic::kChen: return "chen";
+    case IntraHeuristic::kShiftsReduce: return "sr";
+    case IntraHeuristic::kGreedyEdge: return "ge";
+  }
+  return "unknown";
+}
+
+std::vector<VariableId> OrderVariables(IntraHeuristic heuristic,
+                                       std::span<const trace::Access> accesses,
+                                       std::span<const VariableId> vars,
+                                       std::size_t num_variables) {
+  if (heuristic == IntraHeuristic::kNone) {
+    return {vars.begin(), vars.end()};
+  }
+  const LocalProblem local = BuildLocal(accesses, vars, num_variables);
+  switch (heuristic) {
+    case IntraHeuristic::kOfu:
+      return OfuOrder(local);
+    case IntraHeuristic::kChen:
+      return FinishOrder(local, ChenChain(local));
+    case IntraHeuristic::kShiftsReduce:
+      return FinishOrder(local, ShiftsReduceChain(local));
+    case IntraHeuristic::kGreedyEdge:
+      return FinishOrder(local, GreedyEdgeChain(local));
+    case IntraHeuristic::kNone:
+      break;
+  }
+  throw std::invalid_argument("OrderVariables: unknown heuristic");
+}
+
+void ApplyIntra(IntraHeuristic heuristic, const trace::AccessSequence& seq,
+                Placement& placement, std::uint32_t dbc) {
+  if (heuristic == IntraHeuristic::kNone) return;
+  const auto& vars = placement.dbc(dbc);
+  if (vars.size() < 2) return;
+  const std::vector<trace::Access> restricted = seq.Restrict(vars);
+  placement.Reorder(dbc, OrderVariables(heuristic, restricted, vars,
+                                        seq.num_variables()));
+}
+
+}  // namespace rtmp::core

@@ -1,0 +1,56 @@
+// Intra-DBC placement heuristics (§II-B): given the accesses that fall into
+// one DBC, pick the variable order (= offsets) that minimizes the walk cost.
+// This is the classic single-offset-assignment-style problem; the total cost
+// of an order equals sum over access-graph edges of weight x |offset diff|.
+//
+// Implemented policies:
+//  * kNone — keep the order in which the inter-DBC policy inserted the
+//    variables (used by the paper's Fig. 3 illustration and by DMA's
+//    disjoint DBCs, whose access order must be preserved).
+//  * kOfu — order of first use, the paper's baseline intra policy.
+//  * kChen — greedy chain growth after Chen et al. (TVLSI'16): seed with
+//    the most frequently accessed variable, then repeatedly take the
+//    unplaced variable most strongly connected to the placed set and append
+//    it to the end it is more attached to.
+//  * kShiftsReduce — bidirectional grouping after Khan et al.
+//    (ShiftsReduce): like kChen but with distance-discounted attachment
+//    scores for the end choice, followed by an adjacent-transposition
+//    hill-climb on the exact edge-sum objective. The cited paper's exact
+//    pseudo-code is not reproduced in the DATE paper; this implementation
+//    keeps its two documented ingredients (two-ended growth, local
+//    refinement) and consistently dominates kChen, as in the paper.
+//  * kGreedyEdge — the classic maximum-weight-path construction from the
+//    offset-assignment literature the paper builds on (Junger & Mallach
+//    [4] model SOA as a TSP): accept edges in descending weight order
+//    whenever they keep the accepted set a union of simple paths, then
+//    concatenate the paths. A fourth policy for the "interplay of inter-
+//    and intra-DBC placements" analysis (paper contribution 3).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/placement.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::core {
+
+enum class IntraHeuristic { kNone, kOfu, kChen, kShiftsReduce, kGreedyEdge };
+
+[[nodiscard]] std::string_view ToString(IntraHeuristic heuristic) noexcept;
+
+/// Orders `vars` for one DBC given the DBC's restricted access list.
+/// `num_variables` is the size of the global variable space (ids in
+/// `accesses`/`vars` are global). Variables in `vars` that never appear in
+/// `accesses` are appended at the end in ascending id order.
+[[nodiscard]] std::vector<VariableId> OrderVariables(
+    IntraHeuristic heuristic, std::span<const trace::Access> accesses,
+    std::span<const VariableId> vars, std::size_t num_variables);
+
+/// Reorders DBC `dbc` of `placement` in place using `heuristic`, driven by
+/// the accesses of `seq` that fall into that DBC.
+void ApplyIntra(IntraHeuristic heuristic, const trace::AccessSequence& seq,
+                Placement& placement, std::uint32_t dbc);
+
+}  // namespace rtmp::core

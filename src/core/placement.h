@@ -1,0 +1,123 @@
+// Placement: the decision variable of every strategy in the paper.
+//
+// A placement assigns each program variable a DBC and an offset inside it.
+// Offsets are implied by order: DBC i holds an ordered list of variables,
+// the j-th list entry sitting at offset j. This matches the paper's GA
+// individual representation I = (DBC_1, ..., DBC_q), each DBC_i an ordered
+// variable list, and makes the GA operators (move/transpose/permute/swap)
+// structure-preserving by construction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "trace/access_sequence.h"
+
+namespace rtmp::core {
+
+using trace::VariableId;
+
+/// A variable's location.
+struct Slot {
+  std::uint32_t dbc = 0;
+  std::uint32_t offset = 0;
+
+  friend bool operator==(const Slot&, const Slot&) = default;
+};
+
+/// Capacity value meaning "no per-DBC limit".
+inline constexpr std::uint32_t kUnboundedCapacity =
+    std::numeric_limits<std::uint32_t>::max();
+
+class Placement {
+ public:
+  /// An empty placement of `num_variables` variables over `num_dbcs` DBCs,
+  /// each holding at most `capacity` variables.
+  Placement(std::size_t num_variables, std::uint32_t num_dbcs,
+            std::uint32_t capacity = kUnboundedCapacity);
+
+  /// Adopts explicit per-DBC lists. Throws std::invalid_argument if any
+  /// variable appears twice, an id is out of range, or a list exceeds
+  /// `capacity`. Variables absent from every list remain unplaced.
+  [[nodiscard]] static Placement FromLists(
+      std::vector<std::vector<VariableId>> lists, std::size_t num_variables,
+      std::uint32_t capacity = kUnboundedCapacity);
+
+  // -- queries ------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] std::uint32_t num_dbcs() const noexcept {
+    return static_cast<std::uint32_t>(lists_.size());
+  }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] const std::vector<VariableId>& dbc(std::uint32_t i) const {
+    return lists_.at(i);
+  }
+
+  [[nodiscard]] bool IsPlaced(VariableId v) const {
+    return slots_.at(v).dbc != kUnplacedDbc;
+  }
+
+  /// Location of a placed variable; throws std::logic_error if unplaced.
+  [[nodiscard]] Slot SlotOf(VariableId v) const;
+
+  /// True when every variable is placed.
+  [[nodiscard]] bool IsComplete() const noexcept {
+    return placed_count_ == slots_.size();
+  }
+
+  [[nodiscard]] std::size_t placed_count() const noexcept {
+    return placed_count_;
+  }
+
+  /// Number of free slots in DBC i (kUnboundedCapacity when unlimited).
+  [[nodiscard]] std::uint32_t FreeIn(std::uint32_t i) const;
+
+  /// Cross-checks internal index against the lists; throws std::logic_error
+  /// on any inconsistency. Intended for tests and debug assertions.
+  void CheckInvariants() const;
+
+  // -- mutation (used by heuristics and GA operators) ----------------------
+
+  /// Appends an unplaced variable to DBC `dbc`. Throws if already placed or
+  /// the DBC is full.
+  void Append(std::uint32_t dbc, VariableId v);
+
+  /// Removes a placed variable (closing its gap). Throws if unplaced.
+  void Remove(VariableId v);
+
+  /// Remove + Append in one step (the GA "move" mutation and the crossover
+  /// reassignment primitive).
+  void MoveToEnd(VariableId v, std::uint32_t dbc);
+
+  /// Swaps the variables at positions i and j of DBC `dbc` (the GA
+  /// "transpose" mutation).
+  void Transpose(std::uint32_t dbc, std::size_t i, std::size_t j);
+
+  /// Replaces DBC `dbc`'s order; `order` must be a permutation of the
+  /// current content (the GA "permute" mutation applies this with a random
+  /// permutation).
+  void Reorder(std::uint32_t dbc, std::vector<VariableId> order);
+
+  friend bool operator==(const Placement& a, const Placement& b) {
+    return a.capacity_ == b.capacity_ && a.lists_ == b.lists_;
+  }
+
+ private:
+  static constexpr std::uint32_t kUnplacedDbc =
+      std::numeric_limits<std::uint32_t>::max();
+
+  void ReindexFrom(std::uint32_t dbc, std::size_t start_offset);
+
+  std::vector<std::vector<VariableId>> lists_;
+  std::vector<Slot> slots_;  // slots_[v].dbc == kUnplacedDbc if unplaced
+  std::uint32_t capacity_;
+  std::size_t placed_count_ = 0;
+};
+
+}  // namespace rtmp::core

@@ -1,0 +1,42 @@
+#include "core/random_walk.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/genetic.h"
+#include "util/rng.h"
+
+namespace rtmp::core {
+
+RwResult RunRandomWalk(const trace::AccessSequence& seq,
+                       std::uint32_t num_dbcs, std::uint32_t capacity,
+                       const RwOptions& options) {
+  if (options.iterations == 0) {
+    throw std::invalid_argument("RunRandomWalk: need at least one iteration");
+  }
+  const std::size_t n = seq.num_variables();
+  if (capacity != kUnboundedCapacity &&
+      static_cast<std::uint64_t>(num_dbcs) * capacity < n) {
+    throw std::invalid_argument("RunRandomWalk: variables exceed capacity");
+  }
+  util::Rng rng(options.seed);
+
+  Placement best = RandomPlacement(n, num_dbcs, capacity, rng);
+  std::uint64_t best_cost = ShiftCost(seq, best, options.cost);
+
+  const std::size_t stride = std::max<std::size_t>(options.iterations / 100, 1);
+  RwResult result{std::move(best), best_cost, {}};
+  for (std::size_t i = 1; i < options.iterations; ++i) {
+    Placement candidate = RandomPlacement(n, num_dbcs, capacity, rng);
+    const std::uint64_t cost = ShiftCost(seq, candidate, options.cost);
+    if (cost < result.best_cost) {
+      result.best = std::move(candidate);
+      result.best_cost = cost;
+    }
+    if (i % stride == 0) result.history.push_back(result.best_cost);
+  }
+  result.history.push_back(result.best_cost);
+  return result;
+}
+
+}  // namespace rtmp::core

@@ -1,0 +1,35 @@
+// Random-walk search (§III-C): sample uniformly random complete placements
+// (random DBC assignment + random order inside every DBC) and keep the best.
+// The paper runs 60 000 iterations — the upper bound on individuals its GA
+// evaluates — to put the GA results in perspective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/placement.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::core {
+
+struct RwOptions {
+  std::size_t iterations = 60000;
+  std::uint64_t seed = 0x5EEDULL;
+  CostOptions cost{};
+};
+
+struct RwResult {
+  Placement best;
+  std::uint64_t best_cost = 0;
+  /// Best cost after each iteration block of 1/100th of the run (at least
+  /// one sample); cheap convergence curve for reports.
+  std::vector<std::uint64_t> history;
+};
+
+[[nodiscard]] RwResult RunRandomWalk(const trace::AccessSequence& seq,
+                                     std::uint32_t num_dbcs,
+                                     std::uint32_t capacity,
+                                     const RwOptions& options = {});
+
+}  // namespace rtmp::core

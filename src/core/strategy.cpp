@@ -1,0 +1,120 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/inter_afd.h"
+#include "core/inter_dma.h"
+#include "core/multi_dma.h"
+#include "util/strings.h"
+
+namespace rtmp::core {
+
+namespace {
+
+std::string_view InterName(InterPolicy inter) {
+  switch (inter) {
+    case InterPolicy::kAfd: return "afd";
+    case InterPolicy::kDma: return "dma";
+    case InterPolicy::kDmaMulti: return "dma2";
+    case InterPolicy::kGa: return "ga";
+    case InterPolicy::kRandomWalk: return "rw";
+  }
+  return "unknown";
+}
+
+std::optional<IntraHeuristic> ParseIntra(std::string_view name) {
+  if (name == "none") return IntraHeuristic::kNone;
+  if (name == "ofu") return IntraHeuristic::kOfu;
+  if (name == "chen") return IntraHeuristic::kChen;
+  if (name == "sr") return IntraHeuristic::kShiftsReduce;
+  if (name == "ge") return IntraHeuristic::kGreedyEdge;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string ToString(const StrategySpec& spec) {
+  std::string name(InterName(spec.inter));
+  if (spec.inter == InterPolicy::kGa || spec.inter == InterPolicy::kRandomWalk) {
+    return name;
+  }
+  name += '-';
+  name += ToString(spec.intra);
+  return name;
+}
+
+std::optional<StrategySpec> ParseStrategy(std::string_view name) {
+  const std::string lowered = util::ToLower(name);
+  if (lowered == "ga") return StrategySpec{InterPolicy::kGa, IntraHeuristic::kNone};
+  if (lowered == "rw") {
+    return StrategySpec{InterPolicy::kRandomWalk, IntraHeuristic::kNone};
+  }
+  const auto dash = lowered.find('-');
+  if (dash == std::string::npos) return std::nullopt;
+  const std::string_view inter = std::string_view(lowered).substr(0, dash);
+  const std::string_view intra = std::string_view(lowered).substr(dash + 1);
+  const auto parsed_intra = ParseIntra(intra);
+  if (!parsed_intra) return std::nullopt;
+  if (inter == "afd") return StrategySpec{InterPolicy::kAfd, *parsed_intra};
+  if (inter == "dma") return StrategySpec{InterPolicy::kDma, *parsed_intra};
+  if (inter == "dma2") {
+    return StrategySpec{InterPolicy::kDmaMulti, *parsed_intra};
+  }
+  return std::nullopt;
+}
+
+void ScaleSearchEffort(StrategyOptions& options, double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("ScaleSearchEffort: factor must be positive");
+  }
+  auto scale = [factor](std::size_t value) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               static_cast<double>(value) * factor)));
+  };
+  options.ga.mu = std::max<std::size_t>(4, scale(options.ga.mu));
+  options.ga.lambda = std::max<std::size_t>(4, scale(options.ga.lambda));
+  options.ga.generations = scale(options.ga.generations);
+  options.rw.iterations = scale(options.rw.iterations);
+}
+
+Placement RunStrategy(const StrategySpec& spec,
+                      const trace::AccessSequence& seq,
+                      std::uint32_t num_dbcs, std::uint32_t capacity,
+                      const StrategyOptions& options) {
+  switch (spec.inter) {
+    case InterPolicy::kAfd:
+      return DistributeAfd(seq, num_dbcs, capacity, {spec.intra});
+    case InterPolicy::kDma:
+      return DistributeDma(seq, num_dbcs, capacity, {spec.intra}).placement;
+    case InterPolicy::kDmaMulti:
+      return DistributeMultiDma(seq, num_dbcs, capacity, {{spec.intra}})
+          .placement;
+    case InterPolicy::kGa: {
+      GaOptions ga = options.ga;
+      ga.cost = options.cost;
+      return RunGa(seq, num_dbcs, capacity, ga).best;
+    }
+    case InterPolicy::kRandomWalk: {
+      RwOptions rw = options.rw;
+      rw.cost = options.cost;
+      return RunRandomWalk(seq, num_dbcs, capacity, rw).best;
+    }
+  }
+  throw std::invalid_argument("RunStrategy: unknown inter policy");
+}
+
+std::vector<StrategySpec> PaperStrategies() {
+  return {
+      {InterPolicy::kAfd, IntraHeuristic::kOfu},
+      {InterPolicy::kDma, IntraHeuristic::kOfu},
+      {InterPolicy::kDma, IntraHeuristic::kChen},
+      {InterPolicy::kDma, IntraHeuristic::kShiftsReduce},
+      {InterPolicy::kGa, IntraHeuristic::kNone},
+      {InterPolicy::kRandomWalk, IntraHeuristic::kNone},
+  };
+}
+
+}  // namespace rtmp::core

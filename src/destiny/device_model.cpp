@@ -1,0 +1,137 @@
+#include "destiny/device_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtmp::destiny {
+
+namespace {
+
+// Table I of the paper, one entry per DBC count {2, 4, 8, 16}.
+constexpr std::array<DeviceParams, 4> kTableOne{{
+    // leakage, E_wr, E_rd, E_sh, t_rd, t_wr, t_sh, area
+    {3.39, 3.42, 2.26, 2.18, 0.81, 1.08, 0.99, 0.0159},
+    {4.33, 3.65, 2.39, 2.03, 0.84, 1.14, 0.92, 0.0186},
+    {6.56, 3.79, 2.47, 1.97, 0.86, 1.17, 0.86, 0.0226},
+    {8.94, 3.94, 2.54, 1.86, 0.89, 1.20, 0.78, 0.0279},
+}};
+
+std::size_t AnchorIndex(unsigned dbcs) {
+  for (std::size_t i = 0; i < kTableOneDbcCounts.size(); ++i) {
+    if (kTableOneDbcCounts[i] == dbcs) return i;
+  }
+  throw std::out_of_range("PaperTableOne: DBC count not in {2,4,8,16}");
+}
+
+/// Piecewise-linear interpolation of an anchored parameter in log2(dbcs),
+/// extrapolating boundary segments.
+double InterpolateLog2(double log2_dbcs, const std::array<double, 4>& values) {
+  // Anchors sit at log2(dbcs) = 1, 2, 3, 4.
+  constexpr double kFirst = 1.0;
+  constexpr double kLast = 4.0;
+  double x = log2_dbcs;
+  std::size_t lo = 0;
+  if (x <= kFirst) {
+    lo = 0;
+  } else if (x >= kLast) {
+    lo = 2;
+  } else {
+    lo = static_cast<std::size_t>(std::floor(x - kFirst));
+  }
+  const double x0 = kFirst + static_cast<double>(lo);
+  const double t = x - x0;
+  return values[lo] + (values[lo + 1] - values[lo]) * t;
+}
+
+std::array<double, 4> Column(double DeviceParams::* field) {
+  return {kTableOne[0].*field, kTableOne[1].*field, kTableOne[2].*field,
+          kTableOne[3].*field};
+}
+
+}  // namespace
+
+const DeviceParams& PaperTableOne(unsigned dbcs) {
+  return kTableOne[AnchorIndex(dbcs)];
+}
+
+unsigned PaperDomainsPerDbc(unsigned dbcs) {
+  if (dbcs == 0) throw std::invalid_argument("DBC count must be positive");
+  constexpr unsigned kTotalWords = 1024;  // 4 KiB of 32-bit words
+  return kTotalWords / dbcs;
+}
+
+DeviceParams EvaluateDevice(const DeviceQuery& query) {
+  if (query.dbcs == 0) {
+    throw std::invalid_argument("EvaluateDevice: DBC count must be positive");
+  }
+  const double log2_dbcs = std::log2(static_cast<double>(query.dbcs));
+
+  DeviceParams p;
+  p.leakage_mw = InterpolateLog2(log2_dbcs, Column(&DeviceParams::leakage_mw));
+  p.write_energy_pj =
+      InterpolateLog2(log2_dbcs, Column(&DeviceParams::write_energy_pj));
+  p.read_energy_pj =
+      InterpolateLog2(log2_dbcs, Column(&DeviceParams::read_energy_pj));
+  p.shift_energy_pj =
+      InterpolateLog2(log2_dbcs, Column(&DeviceParams::shift_energy_pj));
+  p.read_latency_ns =
+      InterpolateLog2(log2_dbcs, Column(&DeviceParams::read_latency_ns));
+  p.write_latency_ns =
+      InterpolateLog2(log2_dbcs, Column(&DeviceParams::write_latency_ns));
+  p.shift_latency_ns =
+      InterpolateLog2(log2_dbcs, Column(&DeviceParams::shift_latency_ns));
+  p.area_mm2 = InterpolateLog2(log2_dbcs, Column(&DeviceParams::area_mm2));
+
+  // Capacity scaling (anchors are 4 KiB).
+  const double cap_ratio = query.capacity_kib / 4.0;
+  if (cap_ratio <= 0.0) {
+    throw std::invalid_argument("EvaluateDevice: capacity must be positive");
+  }
+  const double sqrt_cap = std::sqrt(cap_ratio);
+  p.leakage_mw *= cap_ratio;
+  p.area_mm2 *= cap_ratio;
+  p.write_energy_pj *= sqrt_cap;
+  p.read_energy_pj *= sqrt_cap;
+  p.shift_energy_pj *= sqrt_cap;
+  p.read_latency_ns *= sqrt_cap;
+  p.write_latency_ns *= sqrt_cap;
+  p.shift_latency_ns *= sqrt_cap;
+
+  // Technology scaling (anchors are 32 nm).
+  const double tech_ratio = query.tech_nm / 32.0;
+  if (tech_ratio <= 0.0) {
+    throw std::invalid_argument("EvaluateDevice: tech node must be positive");
+  }
+  p.area_mm2 *= tech_ratio * tech_ratio;
+  p.write_energy_pj *= tech_ratio * tech_ratio;
+  p.read_energy_pj *= tech_ratio * tech_ratio;
+  p.shift_energy_pj *= tech_ratio * tech_ratio;
+  p.leakage_mw *= tech_ratio;
+  p.read_latency_ns *= tech_ratio;
+  p.write_latency_ns *= tech_ratio;
+  p.shift_latency_ns *= tech_ratio;
+
+  // Track-width scaling: wider words move more bits per access.
+  const double track_ratio =
+      static_cast<double>(query.tracks_per_dbc) / 32.0;
+  if (track_ratio <= 0.0) {
+    throw std::invalid_argument("EvaluateDevice: tracks must be positive");
+  }
+  p.write_energy_pj *= track_ratio;
+  p.read_energy_pj *= track_ratio;
+  p.shift_energy_pj *= track_ratio;
+  p.area_mm2 *= track_ratio;
+  p.leakage_mw *= track_ratio;
+
+  // Extra access ports: the dominant area term in RTM (paper §IV-C).
+  if (query.ports_per_track == 0) {
+    throw std::invalid_argument("EvaluateDevice: need at least one port");
+  }
+  const double extra_ports = static_cast<double>(query.ports_per_track - 1);
+  p.area_mm2 *= 1.0 + 0.12 * extra_ports;
+  p.leakage_mw *= 1.0 + 0.03 * extra_ports;
+
+  return p;
+}
+
+}  // namespace rtmp::destiny

@@ -1,0 +1,63 @@
+#include "rtm/address_map.h"
+
+#include <stdexcept>
+
+namespace rtmp::rtm {
+
+AddressMap::AddressMap(const RtmConfig& config, InterleavePolicy policy)
+    : banks_(config.banks),
+      subarrays_per_bank_(config.subarrays_per_bank),
+      dbcs_per_subarray_(config.dbcs_per_subarray),
+      domains_per_dbc_(config.domains_per_dbc),
+      capacity_(config.word_capacity()),
+      policy_(policy) {
+  config.Validate();
+}
+
+WordLocation AddressMap::Decompose(std::uint64_t word_address) const {
+  if (word_address >= capacity_) {
+    throw std::out_of_range("AddressMap: word address beyond capacity");
+  }
+  const std::uint64_t total_dbcs =
+      static_cast<std::uint64_t>(banks_) * subarrays_per_bank_ *
+      dbcs_per_subarray_;
+  std::uint64_t flat_dbc = 0;
+  std::uint32_t domain = 0;
+  if (policy_ == InterleavePolicy::kBlock) {
+    flat_dbc = word_address / domains_per_dbc_;
+    domain = static_cast<std::uint32_t>(word_address % domains_per_dbc_);
+  } else {
+    flat_dbc = word_address % total_dbcs;
+    domain = static_cast<std::uint32_t>(word_address / total_dbcs);
+  }
+  WordLocation loc;
+  loc.domain = domain;
+  loc.dbc = static_cast<unsigned>(flat_dbc % dbcs_per_subarray_);
+  const std::uint64_t subarray_flat = flat_dbc / dbcs_per_subarray_;
+  loc.subarray = static_cast<unsigned>(subarray_flat % subarrays_per_bank_);
+  loc.bank = static_cast<unsigned>(subarray_flat / subarrays_per_bank_);
+  return loc;
+}
+
+std::uint64_t AddressMap::Compose(const WordLocation& loc) const {
+  const std::uint64_t total_dbcs =
+      static_cast<std::uint64_t>(banks_) * subarrays_per_bank_ *
+      dbcs_per_subarray_;
+  const std::uint64_t flat_dbc =
+      (static_cast<std::uint64_t>(loc.bank) * subarrays_per_bank_ +
+       loc.subarray) *
+          dbcs_per_subarray_ +
+      loc.dbc;
+  std::uint64_t address = 0;
+  if (policy_ == InterleavePolicy::kBlock) {
+    address = flat_dbc * domains_per_dbc_ + loc.domain;
+  } else {
+    address = static_cast<std::uint64_t>(loc.domain) * total_dbcs + flat_dbc;
+  }
+  if (address >= capacity_) {
+    throw std::out_of_range("AddressMap: location beyond capacity");
+  }
+  return address;
+}
+
+}  // namespace rtmp::rtm

@@ -1,0 +1,63 @@
+// Word-address decomposition for raw address traces.
+//
+// The placement experiments address the device through (DBC, domain) pairs
+// produced by a Placement, but the device is also usable as a plain memory:
+// this maps linear word addresses onto the RTM geometry.
+#pragma once
+
+#include <cstdint>
+
+#include "rtm/config.h"
+
+namespace rtmp::rtm {
+
+/// Physical location of a word.
+struct WordLocation {
+  unsigned bank = 0;
+  unsigned subarray = 0;   ///< within the bank
+  unsigned dbc = 0;        ///< within the subarray
+  std::uint32_t domain = 0;///< within the DBC
+
+  /// Flat DBC index across the whole device.
+  [[nodiscard]] unsigned FlatDbc(const RtmConfig& config) const noexcept {
+    return (bank * config.subarrays_per_bank + subarray) *
+               config.dbcs_per_subarray +
+           dbc;
+  }
+
+  friend bool operator==(const WordLocation&, const WordLocation&) = default;
+};
+
+/// How consecutive word addresses are spread over DBCs.
+enum class InterleavePolicy : std::uint8_t {
+  /// Consecutive words fill one DBC before moving to the next; preserves
+  /// the contiguity intra-DBC placement relies on.
+  kBlock,
+  /// Consecutive words round-robin across DBCs (classic bank interleaving).
+  kInterleave,
+};
+
+class AddressMap {
+ public:
+  AddressMap(const RtmConfig& config, InterleavePolicy policy);
+
+  /// Decomposes a word address; throws std::out_of_range beyond capacity.
+  [[nodiscard]] WordLocation Decompose(std::uint64_t word_address) const;
+
+  /// Inverse of Decompose.
+  [[nodiscard]] std::uint64_t Compose(const WordLocation& loc) const;
+
+  [[nodiscard]] std::uint64_t word_capacity() const noexcept {
+    return capacity_;
+  }
+
+ private:
+  unsigned banks_;
+  unsigned subarrays_per_bank_;
+  unsigned dbcs_per_subarray_;
+  std::uint32_t domains_per_dbc_;
+  std::uint64_t capacity_;
+  InterleavePolicy policy_;
+};
+
+}  // namespace rtmp::rtm

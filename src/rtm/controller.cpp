@@ -1,0 +1,125 @@
+#include "rtm/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtmp::rtm {
+
+RtmController::RtmController(RtmConfig config, ControllerConfig controller)
+    : config_(std::move(config)), controller_(controller) {
+  config_.Validate();
+  const auto offsets = config_.EffectivePortOffsets();
+  const bool start_at_zero =
+      config_.initial_alignment == InitialAlignment::kZero;
+  dbcs_.reserve(config_.total_dbcs());
+  for (unsigned i = 0; i < config_.total_dbcs(); ++i) {
+    dbcs_.emplace_back(config_.domains_per_dbc, offsets, start_at_zero);
+  }
+  dbc_free_ns_.assign(config_.total_dbcs(), 0.0);
+}
+
+std::vector<RequestTiming> RtmController::Execute(
+    const std::vector<TimedRequest>& requests) {
+  std::vector<RequestTiming> timings;
+  timings.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const TimedRequest& request = requests[i];
+    if (request.arrival_ns < last_arrival_ns_) {
+      throw std::invalid_argument(
+          "RtmController: arrivals must be non-decreasing");
+    }
+    last_arrival_ns_ = request.arrival_ns;
+    if (request.dbc >= dbcs_.size()) {
+      throw std::out_of_range("RtmController: DBC index out of range");
+    }
+
+    const std::uint64_t shifts = dbcs_[request.dbc].Access(request.domain);
+    const double shift_time =
+        static_cast<double>(shifts) * config_.params.shift_latency_ns;
+    const bool is_write = request.type == trace::AccessType::kWrite;
+    const double access_time = is_write ? config_.params.write_latency_ns
+                                        : config_.params.read_latency_ns;
+
+    RequestTiming timing;
+    timing.shifts = shifts;
+    if (controller_.proactive_alignment) {
+      // The target becomes known when the request `lookahead` places
+      // earlier issued; the DBC can shift in the background from then on.
+      double known_ns = request.arrival_ns;
+      if (controller_.lookahead == 0) {
+        known_ns = std::max(known_ns, channel_free_ns_);
+      } else if (i >= controller_.lookahead) {
+        known_ns =
+            std::max(known_ns, timings[i - controller_.lookahead].access_start_ns);
+      }
+      timing.shift_start_ns = std::max(dbc_free_ns_[request.dbc], known_ns);
+      const double shift_done = timing.shift_start_ns + shift_time;
+      timing.access_start_ns =
+          std::max({request.arrival_ns, channel_free_ns_, shift_done});
+      timing.finish_ns = timing.access_start_ns + access_time;
+      timing.hidden_shift_ns =
+          shift_time - std::max(0.0, shift_done - channel_free_ns_);
+      timing.hidden_shift_ns = std::clamp(timing.hidden_shift_ns, 0.0, shift_time);
+      channel_free_ns_ = timing.finish_ns;
+      dbc_free_ns_[request.dbc] = timing.finish_ns;
+      stats_.channel_busy_ns += access_time + (shift_time - timing.hidden_shift_ns);
+    } else {
+      // Serial operation: shift + access both occupy the channel.
+      timing.shift_start_ns = std::max(request.arrival_ns, channel_free_ns_);
+      timing.access_start_ns = timing.shift_start_ns + shift_time;
+      timing.finish_ns = timing.access_start_ns + access_time;
+      channel_free_ns_ = timing.finish_ns;
+      dbc_free_ns_[request.dbc] = timing.finish_ns;
+      stats_.channel_busy_ns += shift_time + access_time;
+    }
+
+    stats_.shifts += shifts;
+    stats_.shift_busy_ns += shift_time;
+    stats_.hidden_shift_ns += timing.hidden_shift_ns;
+    stats_.makespan_ns = std::max(stats_.makespan_ns, timing.finish_ns);
+    ++stats_.requests;
+    if (is_write) ++writes_;
+    else ++reads_;
+    timings.push_back(timing);
+  }
+  return timings;
+}
+
+EnergyBreakdown RtmController::Energy() const {
+  ActivityCounts activity;
+  activity.reads = reads_;
+  activity.writes = writes_;
+  activity.shifts = stats_.shifts;
+  activity.runtime_ns = stats_.makespan_ns;
+  return ComputeEnergy(config_.params, activity);
+}
+
+void RtmController::Reset() {
+  for (DbcState& dbc : dbcs_) dbc.Reset();
+  dbc_free_ns_.assign(dbcs_.size(), 0.0);
+  channel_free_ns_ = 0.0;
+  last_arrival_ns_ = 0.0;
+  reads_ = 0;
+  writes_ = 0;
+  stats_ = ControllerStats{};
+}
+
+ControllerStats ReplaySequence(
+    const trace::AccessSequence& seq,
+    const std::vector<std::pair<unsigned, std::uint32_t>>& locations,
+    const RtmConfig& config, const ControllerConfig& controller) {
+  if (locations.size() != seq.num_variables()) {
+    throw std::invalid_argument("ReplaySequence: one location per variable");
+  }
+  std::vector<TimedRequest> requests;
+  requests.reserve(seq.size());
+  for (const trace::Access& access : seq.accesses()) {
+    const auto& [dbc, domain] = locations[access.variable];
+    requests.push_back(TimedRequest{0.0, dbc, domain, access.type});
+  }
+  RtmController engine(config, controller);
+  (void)engine.Execute(requests);
+  return engine.stats();
+}
+
+}  // namespace rtmp::rtm

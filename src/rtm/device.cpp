@@ -1,0 +1,60 @@
+#include "rtm/device.h"
+
+#include <stdexcept>
+
+namespace rtmp::rtm {
+
+RtmDevice::RtmDevice(RtmConfig config) : config_(std::move(config)) {
+  config_.Validate();
+  const auto offsets = config_.EffectivePortOffsets();
+  const bool start_at_zero =
+      config_.initial_alignment == InitialAlignment::kZero;
+  dbcs_.reserve(config_.total_dbcs());
+  for (unsigned i = 0; i < config_.total_dbcs(); ++i) {
+    dbcs_.emplace_back(config_.domains_per_dbc, offsets, start_at_zero);
+  }
+  stats_.per_dbc_shifts.assign(config_.total_dbcs(), 0);
+}
+
+AccessResult RtmDevice::Access(unsigned dbc, std::uint32_t domain,
+                               trace::AccessType type) {
+  if (dbc >= dbcs_.size()) {
+    throw std::out_of_range("RtmDevice: DBC index out of range");
+  }
+  const std::uint64_t shifts = dbcs_[dbc].Access(domain);
+
+  AccessResult result;
+  result.shifts = shifts;
+  const bool is_write = type == trace::AccessType::kWrite;
+  result.latency_ns =
+      static_cast<double>(shifts) * config_.params.shift_latency_ns +
+      (is_write ? config_.params.write_latency_ns
+                : config_.params.read_latency_ns);
+
+  stats_.shifts += shifts;
+  stats_.per_dbc_shifts[dbc] += shifts;
+  if (is_write) ++stats_.writes;
+  else ++stats_.reads;
+  stats_.runtime_ns += result.latency_ns;
+  if (dbcs_[dbc].max_excursion() > stats_.max_excursion) {
+    stats_.max_excursion = dbcs_[dbc].max_excursion();
+  }
+  return result;
+}
+
+EnergyBreakdown RtmDevice::Energy() const {
+  ActivityCounts activity;
+  activity.reads = stats_.reads;
+  activity.writes = stats_.writes;
+  activity.shifts = stats_.shifts;
+  activity.runtime_ns = stats_.runtime_ns;
+  return ComputeEnergy(config_.params, activity);
+}
+
+void RtmDevice::Reset() {
+  for (DbcState& dbc : dbcs_) dbc.Reset();
+  stats_ = RtmStats{};
+  stats_.per_dbc_shifts.assign(config_.total_dbcs(), 0);
+}
+
+}  // namespace rtmp::rtm

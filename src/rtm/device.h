@@ -1,0 +1,69 @@
+// Request-level RTM device: the observable core of RTSim.
+//
+// The device executes (DBC, domain, read/write) accesses, maintains per-DBC
+// shift state, and accumulates the statistics the paper reports: shift
+// counts, access latency (runtime in trace-driven mode) and the energy
+// breakdown of Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtm/config.h"
+#include "rtm/dbc_state.h"
+#include "rtm/energy_model.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::rtm {
+
+/// Outcome of a single access.
+struct AccessResult {
+  std::uint64_t shifts = 0;
+  double latency_ns = 0.0;
+};
+
+/// Running statistics of a device since construction/Reset.
+struct RtmStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t shifts = 0;
+  double runtime_ns = 0.0;
+  std::vector<std::uint64_t> per_dbc_shifts;
+  std::uint64_t max_excursion = 0;  ///< worst |alignment| over all DBCs
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return reads + writes;
+  }
+};
+
+class RtmDevice {
+ public:
+  /// Validates and adopts the configuration.
+  explicit RtmDevice(RtmConfig config);
+
+  /// Performs one access; throws std::out_of_range for bad coordinates.
+  AccessResult Access(unsigned dbc, std::uint32_t domain,
+                      trace::AccessType type);
+
+  [[nodiscard]] const RtmConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const RtmStats& stats() const noexcept { return stats_; }
+
+  /// Energy of everything executed so far (leakage uses accumulated
+  /// runtime).
+  [[nodiscard]] EnergyBreakdown Energy() const;
+
+  /// Area of the array (from the circuit parameters).
+  [[nodiscard]] double area_mm2() const noexcept {
+    return config_.params.area_mm2;
+  }
+
+  /// Clears statistics and re-arms initial alignments.
+  void Reset();
+
+ private:
+  RtmConfig config_;
+  std::vector<DbcState> dbcs_;
+  RtmStats stats_;
+};
+
+}  // namespace rtmp::rtm

@@ -1,0 +1,133 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace rtmp::sim {
+
+namespace {
+
+/// The paper's device for `dbcs`, with the DBC depth widened when a
+/// sequence has more variables than the 4 KiB part can hold (cc65's 1336
+/// variables exceed the 1024 words of the 2-DBC config).
+rtm::RtmConfig ConfigFor(unsigned dbcs, std::size_t num_variables) {
+  rtm::RtmConfig config = rtm::RtmConfig::Paper(dbcs);
+  const std::uint64_t capacity = config.word_capacity();
+  if (num_variables > capacity) {
+    const auto per_dbc = static_cast<unsigned>(
+        (num_variables + dbcs - 1) / dbcs);
+    config.domains_per_dbc = per_dbc;
+  }
+  return config;
+}
+
+}  // namespace
+
+void RunMetrics::Accumulate(const SimulationResult& result) {
+  shifts += result.stats.shifts;
+  accesses += result.stats.accesses();
+  runtime_ns += result.stats.runtime_ns;
+  leakage_pj += result.energy.leakage_pj;
+  read_write_pj += result.energy.read_write_pj;
+  shift_pj += result.energy.shift_pj;
+  area_mm2 = std::max(area_mm2, result.area_mm2);
+}
+
+double SearchEffortFromEnv(double fallback) {
+  const char* raw = std::getenv("RTMPLACE_EFFORT");
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || value <= 0.0) return fallback;
+  return value;
+}
+
+RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
+                  const core::StrategySpec& strategy,
+                  const ExperimentOptions& options) {
+  RunResult run;
+  run.benchmark = benchmark.name;
+  run.dbcs = dbcs;
+  run.strategy = strategy;
+
+  for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
+    const trace::AccessSequence& seq = benchmark.sequences[s];
+    if (seq.num_variables() == 0) continue;
+    const rtm::RtmConfig config = ConfigFor(dbcs, seq.num_variables());
+
+    core::StrategyOptions strategy_options;
+    strategy_options.cost.initial_alignment = config.initial_alignment;
+    core::ScaleSearchEffort(strategy_options, options.search_effort);
+    // Distinct, reproducible seeds per (benchmark, sequence, dbcs).
+    const std::uint64_t seed = util::HashString(benchmark.name) ^
+                               (options.seed + s * 0x9E3779B9ULL + dbcs);
+    strategy_options.ga.seed = seed;
+    strategy_options.rw.seed = seed;
+
+    const core::Placement placement =
+        core::RunStrategy(strategy, seq, config.total_dbcs(),
+                          config.domains_per_dbc, strategy_options);
+    run.metrics.Accumulate(Simulate(seq, placement, config));
+  }
+  return run;
+}
+
+std::vector<RunResult> RunMatrix(
+    const std::vector<offsetstone::Benchmark>& suite,
+    const ExperimentOptions& options) {
+  std::vector<RunResult> results;
+  results.reserve(suite.size() * options.dbc_counts.size() *
+                  options.strategies.size());
+  for (const offsetstone::Benchmark& benchmark : suite) {
+    for (const unsigned dbcs : options.dbc_counts) {
+      for (const core::StrategySpec& strategy : options.strategies) {
+        results.push_back(RunCell(benchmark, dbcs, strategy, options));
+      }
+    }
+  }
+  return results;
+}
+
+std::string ResultTable::Key(const std::string& benchmark, unsigned dbcs,
+                             const core::StrategySpec& strategy) {
+  return benchmark + "|" + std::to_string(dbcs) + "|" +
+         core::ToString(strategy);
+}
+
+ResultTable::ResultTable(const std::vector<RunResult>& results) {
+  for (const RunResult& r : results) {
+    cells_.emplace(Key(r.benchmark, r.dbcs, r.strategy), r.metrics);
+  }
+}
+
+const RunMetrics& ResultTable::At(const std::string& benchmark, unsigned dbcs,
+                                  const core::StrategySpec& strategy) const {
+  const auto it = cells_.find(Key(benchmark, dbcs, strategy));
+  if (it == cells_.end()) {
+    throw std::out_of_range("ResultTable: missing cell " +
+                            Key(benchmark, dbcs, strategy));
+  }
+  return it->second;
+}
+
+std::vector<double> ResultTable::NormalizedShifts(
+    const std::vector<std::string>& benchmarks, unsigned dbcs,
+    const core::StrategySpec& strategy,
+    const core::StrategySpec& baseline) const {
+  std::vector<double> normalized;
+  normalized.reserve(benchmarks.size());
+  for (const std::string& b : benchmarks) {
+    const double value = static_cast<double>(At(b, dbcs, strategy).shifts);
+    const double base = static_cast<double>(At(b, dbcs, baseline).shifts);
+    // A zero-shift baseline (degenerate tiny benchmark) normalizes to 1:
+    // both strategies are optimal there.
+    normalized.push_back(base == 0.0 ? (value == 0.0 ? 1.0 : value) : value / base);
+  }
+  return normalized;
+}
+
+}  // namespace rtmp::sim

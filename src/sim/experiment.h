@@ -1,0 +1,97 @@
+// Experiment harness: runs benchmark suites through strategies and RTM
+// configurations and aggregates the metrics the paper's evaluation section
+// reports. Every bench binary is a thin wrapper around this module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "offsetstone/suite.h"
+#include "rtm/config.h"
+#include "rtm/energy_model.h"
+#include "sim/simulator.h"
+
+namespace rtmp::sim {
+
+/// Metrics summed over all sequences of one benchmark under one strategy
+/// and one RTM configuration.
+struct RunMetrics {
+  std::uint64_t shifts = 0;
+  std::uint64_t accesses = 0;
+  double runtime_ns = 0.0;
+  double leakage_pj = 0.0;
+  double read_write_pj = 0.0;
+  double shift_pj = 0.0;
+  double area_mm2 = 0.0;  ///< of the (largest) device used, not summed
+
+  [[nodiscard]] double total_energy_pj() const noexcept {
+    return leakage_pj + read_write_pj + shift_pj;
+  }
+
+  void Accumulate(const SimulationResult& result);
+};
+
+/// One (benchmark, dbc count, strategy) cell of the evaluation matrix.
+struct RunResult {
+  std::string benchmark;
+  unsigned dbcs = 0;
+  core::StrategySpec strategy;
+  RunMetrics metrics;
+};
+
+struct ExperimentOptions {
+  std::vector<unsigned> dbc_counts{2, 4, 8, 16};
+  std::vector<core::StrategySpec> strategies = core::PaperStrategies();
+  /// GA/RW effort relative to the paper's parameters (1.0 = 200 GA
+  /// generations with mu = lambda = 100 and 60 000 RW iterations). The
+  /// benches default to a fraction so the full matrix runs in minutes;
+  /// set the RTMPLACE_EFFORT environment variable to raise it.
+  double search_effort = 0.05;
+  std::uint64_t seed = 0x0FF5E7ULL;
+};
+
+/// Reads ExperimentOptions::search_effort from the RTMPLACE_EFFORT
+/// environment variable (falls back to `fallback` when unset/invalid).
+[[nodiscard]] double SearchEffortFromEnv(double fallback);
+
+/// Runs the full matrix over `suite`. Sequences whose variable count
+/// exceeds the paper device's capacity run on an iso-DBC-count device with
+/// proportionally deeper DBCs (documented in DESIGN.md §3); everything else
+/// uses rtm::RtmConfig::Paper(dbcs) exactly.
+[[nodiscard]] std::vector<RunResult> RunMatrix(
+    const std::vector<offsetstone::Benchmark>& suite,
+    const ExperimentOptions& options);
+
+/// Runs one benchmark / strategy / DBC-count cell.
+[[nodiscard]] RunResult RunCell(const offsetstone::Benchmark& benchmark,
+                                unsigned dbcs,
+                                const core::StrategySpec& strategy,
+                                const ExperimentOptions& options);
+
+/// Index into RunMatrix results: metrics keyed by (benchmark, dbcs,
+/// strategy name).
+class ResultTable {
+ public:
+  explicit ResultTable(const std::vector<RunResult>& results);
+
+  [[nodiscard]] const RunMetrics& At(const std::string& benchmark,
+                                     unsigned dbcs,
+                                     const core::StrategySpec& strategy) const;
+
+  /// value(strategy) / value(baseline) per benchmark; the paper's Fig. 4
+  /// normalizes shift counts to GA, Fig. 5 energies to AFD-OFU.
+  [[nodiscard]] std::vector<double> NormalizedShifts(
+      const std::vector<std::string>& benchmarks, unsigned dbcs,
+      const core::StrategySpec& strategy,
+      const core::StrategySpec& baseline) const;
+
+ private:
+  std::map<std::string, RunMetrics> cells_;
+  static std::string Key(const std::string& benchmark, unsigned dbcs,
+                         const core::StrategySpec& strategy);
+};
+
+}  // namespace rtmp::sim

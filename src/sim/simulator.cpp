@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+#include "core/cost_model.h"
+
+namespace rtmp::sim {
+
+SimulationResult Simulate(const trace::AccessSequence& seq,
+                          const core::Placement& placement,
+                          const rtm::RtmConfig& config) {
+  if (placement.num_dbcs() != config.total_dbcs()) {
+    throw std::invalid_argument("Simulate: placement/config DBC mismatch");
+  }
+  for (std::uint32_t d = 0; d < placement.num_dbcs(); ++d) {
+    if (placement.dbc(d).size() > config.domains_per_dbc) {
+      throw std::invalid_argument("Simulate: placement deeper than DBC");
+    }
+  }
+  rtm::RtmDevice device(config);
+  for (const trace::Access& access : seq.accesses()) {
+    const core::Slot slot = placement.SlotOf(access.variable);
+    device.Access(slot.dbc, slot.offset, access.type);
+  }
+  SimulationResult result;
+  result.stats = device.stats();
+  result.energy = device.Energy();
+  result.area_mm2 = device.area_mm2();
+  return result;
+}
+
+bool SimulatorMatchesCostModel(const trace::AccessSequence& seq,
+                               const core::Placement& placement,
+                               const rtm::RtmConfig& config) {
+  core::CostOptions options;
+  options.initial_alignment = config.initial_alignment;
+  options.port_offsets = config.EffectivePortOffsets();
+  options.domains_per_dbc = config.domains_per_dbc;
+  const std::uint64_t analytic = core::ShiftCost(seq, placement, options);
+  return Simulate(seq, placement, config).stats.shifts == analytic;
+}
+
+}  // namespace rtmp::sim

@@ -1,0 +1,32 @@
+// Trace-driven simulation: replay an access sequence through the RTM device
+// under a placement and collect the paper's metrics (shifts, runtime,
+// energy breakdown, area).
+#pragma once
+
+#include "core/placement.h"
+#include "rtm/device.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::sim {
+
+struct SimulationResult {
+  rtm::RtmStats stats;
+  rtm::EnergyBreakdown energy;
+  double area_mm2 = 0.0;
+};
+
+/// Replays `seq` on a fresh device built from `config`. The placement maps
+/// each variable to (DBC, domain = offset). Throws std::invalid_argument if
+/// the placement does not fit the configuration (DBC count or depth).
+[[nodiscard]] SimulationResult Simulate(const trace::AccessSequence& seq,
+                                        const core::Placement& placement,
+                                        const rtm::RtmConfig& config);
+
+/// Convenience: the analytic shift cost and the simulator agree by
+/// construction under single-port configs; this asserts it (used by
+/// integration tests and as a safety net in the harness's debug builds).
+[[nodiscard]] bool SimulatorMatchesCostModel(const trace::AccessSequence& seq,
+                                             const core::Placement& placement,
+                                             const rtm::RtmConfig& config);
+
+}  // namespace rtmp::sim

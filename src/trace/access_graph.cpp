@@ -1,0 +1,50 @@
+#include "trace/access_graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rtmp::trace {
+
+AccessGraph AccessGraph::FromSequence(const AccessSequence& seq) {
+  return FromAccesses(seq.accesses(), seq.num_variables());
+}
+
+AccessGraph AccessGraph::FromAccesses(const std::vector<Access>& accesses,
+                                      std::size_t num_variables) {
+  // Count pair multiplicities first; a std::map keeps neighbor lists in a
+  // deterministic order independent of insertion sequence.
+  std::map<std::pair<VariableId, VariableId>, std::uint64_t> counts;
+  std::vector<std::uint64_t> frequency(num_variables, 0);
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    ++frequency[accesses[i].variable];
+    if (i == 0) continue;
+    VariableId u = accesses[i - 1].variable;
+    VariableId v = accesses[i].variable;
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    ++counts[{u, v}];
+  }
+
+  AccessGraph graph;
+  graph.adjacency_.resize(num_variables);
+  graph.vertex_weight_.assign(num_variables, 0);
+  graph.frequency_ = std::move(frequency);
+  for (const auto& [edge, weight] : counts) {
+    const auto [u, v] = edge;
+    graph.adjacency_[u].push_back({v, weight});
+    graph.adjacency_[v].push_back({u, weight});
+    graph.vertex_weight_[u] += weight;
+    graph.vertex_weight_[v] += weight;
+  }
+  graph.num_edges_ = counts.size();
+  return graph;
+}
+
+std::uint64_t AccessGraph::Weight(VariableId u, VariableId v) const {
+  const auto& edges = adjacency_.at(u);
+  const auto it = std::find_if(edges.begin(), edges.end(),
+                               [v](const Edge& e) { return e.neighbor == v; });
+  return it == edges.end() ? 0 : it->weight;
+}
+
+}  // namespace rtmp::trace

@@ -1,0 +1,61 @@
+// Weighted undirected access graph (§II-B): vertices are variables, an edge
+// {u, v} counts how often u and v are accessed consecutively in S. The
+// intra-DBC heuristics of Chen et al. and ShiftsReduce consume this summary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/access_sequence.h"
+
+namespace rtmp::trace {
+
+class AccessGraph {
+ public:
+  struct Edge {
+    VariableId neighbor = 0;
+    std::uint64_t weight = 0;
+  };
+
+  /// Builds the graph from consecutive pairs in `seq`. Self pairs
+  /// (s_t == s_{t+1}) contribute no edge: they never cost a shift.
+  [[nodiscard]] static AccessGraph FromSequence(const AccessSequence& seq);
+
+  /// Builds from an explicit access list over `num_variables` variables
+  /// (used for per-DBC subsequences).
+  [[nodiscard]] static AccessGraph FromAccesses(
+      const std::vector<Access>& accesses, std::size_t num_variables);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return adjacency_.size();
+  }
+
+  /// Edge weight between u and v (0 if absent).
+  [[nodiscard]] std::uint64_t Weight(VariableId u, VariableId v) const;
+
+  /// Neighbors of u with positive weight, unordered.
+  [[nodiscard]] const std::vector<Edge>& Neighbors(VariableId u) const {
+    return adjacency_.at(u);
+  }
+
+  /// Sum of incident edge weights of u (weighted degree).
+  [[nodiscard]] std::uint64_t VertexWeight(VariableId u) const {
+    return vertex_weight_.at(u);
+  }
+
+  /// Number of accesses of u in the underlying sequence.
+  [[nodiscard]] std::uint64_t Frequency(VariableId u) const {
+    return frequency_.at(u);
+  }
+
+  /// Total number of distinct edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<std::uint64_t> vertex_weight_;
+  std::vector<std::uint64_t> frequency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace rtmp::trace

@@ -1,0 +1,77 @@
+#include "trace/access_sequence.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rtmp::trace {
+
+AccessSequence AccessSequence::FromTokens(
+    std::span<const std::string> tokens) {
+  AccessSequence seq;
+  for (const std::string& token : tokens) {
+    if (token.empty()) continue;
+    AccessType type = AccessType::kRead;
+    std::string name = token;
+    if (name.back() == '!') {
+      type = AccessType::kWrite;
+      name.pop_back();
+      if (name.empty()) {
+        throw std::invalid_argument("trace token '!' has no variable name");
+      }
+    }
+    seq.Append(seq.AddVariable(std::move(name)), type);
+  }
+  return seq;
+}
+
+AccessSequence AccessSequence::FromCompactString(std::string_view text) {
+  AccessSequence seq;
+  for (const char c : text) {
+    if (c == ' ') continue;
+    seq.Append(seq.AddVariable(std::string(1, c)));
+  }
+  return seq;
+}
+
+VariableId AccessSequence::AddVariable(std::string name) {
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  const auto id = static_cast<VariableId>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+std::optional<VariableId> AccessSequence::FindVariable(
+    std::string_view name) const {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+void AccessSequence::Append(VariableId variable, AccessType type) {
+  if (variable >= names_.size()) {
+    throw std::out_of_range("access to unregistered variable id");
+  }
+  accesses_.push_back(Access{variable, type});
+}
+
+std::size_t AccessSequence::CountWrites() const noexcept {
+  std::size_t writes = 0;
+  for (const Access& a : accesses_) {
+    if (a.type == AccessType::kWrite) ++writes;
+  }
+  return writes;
+}
+
+std::vector<Access> AccessSequence::Restrict(
+    std::span<const VariableId> subset) const {
+  std::unordered_set<VariableId> wanted(subset.begin(), subset.end());
+  std::vector<Access> out;
+  for (const Access& a : accesses_) {
+    if (wanted.contains(a.variable)) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace rtmp::trace

@@ -1,0 +1,102 @@
+// Memory access traces: the input of every placement strategy.
+//
+// An AccessSequence is the paper's `S = (s1, ..., sk)`: an ordered list of
+// accesses to named program variables. Variables are identified by dense
+// 32-bit ids in order of first registration; positions are 0-based (the
+// paper's prose is 1-based; tests that encode paper numbers subtract 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rtmp::trace {
+
+using VariableId = std::uint32_t;
+
+/// Kind of memory access. OffsetStone-style traces do not distinguish reads
+/// from writes; generators tag a configurable fraction as writes so the
+/// energy model has both terms.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// One element of an access sequence.
+struct Access {
+  VariableId variable = 0;
+  AccessType type = AccessType::kRead;
+
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+/// An ordered trace of accesses over a named variable set.
+class AccessSequence {
+ public:
+  AccessSequence() = default;
+
+  /// Builds a sequence from whitespace-style tokens; each distinct token
+  /// becomes a variable (ids assigned in order of first appearance). A
+  /// trailing '!' on a token marks a write access ("a!" = write to a).
+  [[nodiscard]] static AccessSequence FromTokens(
+      std::span<const std::string> tokens);
+
+  /// Convenience for tests: builds from a string of single-character
+  /// variable names, e.g. "abacab" (all reads).
+  [[nodiscard]] static AccessSequence FromCompactString(std::string_view text);
+
+  /// Registers a variable; returns its id. Re-registering a name returns the
+  /// existing id.
+  VariableId AddVariable(std::string name);
+
+  /// Looks up a variable id by name.
+  [[nodiscard]] std::optional<VariableId> FindVariable(
+      std::string_view name) const;
+
+  /// Appends one access. The variable must have been registered.
+  void Append(VariableId variable, AccessType type = AccessType::kRead);
+
+  /// Number of registered variables (the paper's |V|). Variables with zero
+  /// accesses are allowed (they still need a placement slot).
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return names_.size();
+  }
+
+  /// Trace length (the paper's |S|).
+  [[nodiscard]] std::size_t size() const noexcept { return accesses_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return accesses_.empty(); }
+
+  [[nodiscard]] const Access& operator[](std::size_t i) const noexcept {
+    return accesses_[i];
+  }
+
+  [[nodiscard]] const std::vector<Access>& accesses() const noexcept {
+    return accesses_;
+  }
+
+  [[nodiscard]] const std::string& name_of(VariableId v) const {
+    return names_.at(v);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& variable_names()
+      const noexcept {
+    return names_;
+  }
+
+  /// Number of write accesses (the rest are reads).
+  [[nodiscard]] std::size_t CountWrites() const noexcept;
+
+  /// Restriction of this sequence to a variable subset, preserving order:
+  /// the paper's per-DBC subsequence `S_i`. Ids and names are preserved
+  /// (the result references the same variable space).
+  [[nodiscard]] std::vector<Access> Restrict(
+      std::span<const VariableId> subset) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VariableId> ids_;
+  std::vector<Access> accesses_;
+};
+
+}  // namespace rtmp::trace

@@ -1,0 +1,192 @@
+#include "trace/generators.h"
+
+#include <algorithm>
+
+namespace rtmp::trace {
+
+namespace {
+
+AccessType DrawType(double write_fraction, util::Rng& rng) {
+  return rng.NextBool(write_fraction) ? AccessType::kWrite : AccessType::kRead;
+}
+
+/// Registers `count` variables named v0..v{count-1} and returns the sequence.
+AccessSequence WithVariables(std::size_t count) {
+  AccessSequence seq;
+  for (std::size_t i = 0; i < count; ++i) {
+    seq.AddVariable(MakeVariableName(i));
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string MakeVariableName(std::size_t index) {
+  // Real program identifiers sort lexicographically in an order unrelated
+  // to when the variable first appears; plain "v<index>" names would sort
+  // almost chronologically and systematically flatter every name-ordered
+  // tie-break (AFD's frequency deal). A deterministic scrambled prefix
+  // restores the realistic decorrelation while keeping the index readable.
+  std::uint64_t h = util::HashString(std::to_string(index));
+  std::string prefix(4, 'a');
+  for (char& c : prefix) {
+    c = static_cast<char>('a' + h % 26);
+    h /= 26;
+  }
+  return prefix + "_" + std::to_string(index);
+}
+
+AccessSequence GenerateUniform(const UniformParams& params, util::Rng& rng) {
+  AccessSequence seq = WithVariables(params.num_vars);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    const auto v = static_cast<VariableId>(rng.NextBelow(params.num_vars));
+    seq.Append(v, DrawType(params.write_fraction, rng));
+  }
+  return seq;
+}
+
+AccessSequence GenerateZipf(const ZipfParams& params, util::Rng& rng) {
+  AccessSequence seq = WithVariables(params.num_vars);
+  // Random rank->variable mapping so the hot set is not always v0, v1, ...
+  std::vector<VariableId> by_rank(params.num_vars);
+  for (std::size_t i = 0; i < params.num_vars; ++i) {
+    by_rank[i] = static_cast<VariableId>(i);
+  }
+  rng.Shuffle(by_rank);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    const std::size_t rank = rng.NextZipf(params.num_vars, params.exponent);
+    seq.Append(by_rank[rank], DrawType(params.write_fraction, rng));
+  }
+  return seq;
+}
+
+AccessSequence GeneratePhased(const PhasedParams& params, util::Rng& rng) {
+  const std::size_t phase_vars = params.num_phases * params.vars_per_phase;
+  const std::size_t total_vars = phase_vars + params.num_globals;
+  AccessSequence seq = WithVariables(total_vars);
+  // Globals occupy the top ids: [phase_vars, total_vars).
+  for (std::size_t phase = 0; phase < params.num_phases; ++phase) {
+    const std::size_t base = phase * params.vars_per_phase;
+    for (std::size_t i = 0; i < params.accesses_per_phase; ++i) {
+      if (params.num_globals > 0 && rng.NextBool(params.global_access_prob)) {
+        const auto g = static_cast<VariableId>(
+            phase_vars + rng.NextBelow(params.num_globals));
+        seq.Append(g, DrawType(params.write_fraction, rng));
+        continue;
+      }
+      const std::size_t rank =
+          rng.NextZipf(params.vars_per_phase, params.zipf_exponent);
+      seq.Append(static_cast<VariableId>(base + rank),
+                 DrawType(params.write_fraction, rng));
+    }
+  }
+  return seq;
+}
+
+AccessSequence GenerateMarkov(const MarkovParams& params, util::Rng& rng) {
+  AccessSequence seq = WithVariables(params.num_vars);
+  if (params.num_vars == 0 || params.length == 0) return seq;
+  auto current = static_cast<VariableId>(rng.NextBelow(params.num_vars));
+  for (std::size_t i = 0; i < params.length; ++i) {
+    seq.Append(current, DrawType(params.write_fraction, rng));
+    const double draw = rng.NextDouble();
+    if (draw < params.self_loop_prob) {
+      continue;  // stay on the same variable
+    }
+    if (draw < params.self_loop_prob + params.locality_prob &&
+        params.locality_window > 0) {
+      // Jump to a nearby id (wrapping), modelling basic-block locality.
+      const auto offset = static_cast<std::int64_t>(
+          rng.NextInRange(1, static_cast<std::int64_t>(params.locality_window)));
+      const bool forward = rng.NextBool(0.5);
+      const auto n = static_cast<std::int64_t>(params.num_vars);
+      std::int64_t next = static_cast<std::int64_t>(current) +
+                          (forward ? offset : -offset);
+      next = ((next % n) + n) % n;
+      current = static_cast<VariableId>(next);
+      continue;
+    }
+    // Global jump, Zipf by rank => a few hot variables shared program-wide.
+    current = static_cast<VariableId>(
+        rng.NextZipf(params.num_vars, params.hot_jump_zipf));
+  }
+  return seq;
+}
+
+AccessSequence GenerateLoopNest(const LoopNestParams& params, util::Rng& rng) {
+  const std::size_t kernels = std::max<std::size_t>(params.num_kernels, 1);
+  const std::size_t kernel_vars = params.num_arrays * params.array_len;
+  const std::size_t total_vars = kernels * kernel_vars + params.num_scalars;
+  AccessSequence seq = WithVariables(total_vars);
+  const std::size_t scalar_base = kernels * kernel_vars;
+  const std::size_t stride = std::max<std::size_t>(params.stride, 1);
+  for (std::size_t kernel = 0; kernel < kernels; ++kernel) {
+    // Each kernel sweeps its own arrays; the scalar pool persists across
+    // kernels (loop counters, accumulators).
+    const std::size_t base = kernel * kernel_vars;
+    for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+      for (std::size_t idx = 0; idx < params.array_len; idx += stride) {
+        for (std::size_t arr = 0; arr < params.num_arrays; ++arr) {
+          // a[idx], b[idx], ... accessed together per loop body execution.
+          const auto v = static_cast<VariableId>(
+              base + arr * params.array_len + idx);
+          seq.Append(v, DrawType(params.write_fraction, rng));
+          if (params.num_scalars > 0 &&
+              rng.NextBool(params.scalar_access_prob)) {
+            const auto s = static_cast<VariableId>(
+                scalar_base + rng.NextBelow(params.num_scalars));
+            seq.Append(s, DrawType(params.write_fraction, rng));
+          }
+        }
+      }
+    }
+  }
+  return seq;
+}
+
+AccessSequence GenerateSequential(const SequentialParams& params,
+                                  util::Rng& rng) {
+  // Globals take ids [0, num_globals); short-lived variables follow in
+  // introduction order.
+  AccessSequence seq;
+  for (std::size_t g = 0; g < params.num_globals; ++g) {
+    seq.AddVariable("g" + std::to_string(g));
+  }
+  for (std::size_t i = 0; i < params.num_vars; ++i) {
+    seq.AddVariable(MakeVariableName(i));
+  }
+  if (params.num_vars == 0 || params.length == 0) return seq;
+  const std::size_t window = std::max<std::size_t>(
+      std::min(params.window, params.num_vars), 1);
+  // Live window [oldest, next_fresh); `current` is the newest member.
+  std::size_t next_fresh = window;  // v0..v{window-1} start live
+  std::size_t oldest = 0;
+  std::size_t current = window - 1;
+  for (std::size_t i = 0; i < params.length; ++i) {
+    if (params.num_globals > 0 && rng.NextBool(params.global_access_prob)) {
+      seq.Append(static_cast<VariableId>(rng.NextBelow(params.num_globals)),
+                 DrawType(params.write_fraction, rng));
+      continue;
+    }
+    seq.Append(static_cast<VariableId>(params.num_globals + current),
+               DrawType(params.write_fraction, rng));
+    const double draw = rng.NextDouble();
+    if (draw < params.stay_prob) continue;
+    if (draw < params.stay_prob + params.neighbor_prob) {
+      // Touch a random live variable (possibly the current one again).
+      current = oldest + rng.NextBelow(next_fresh - oldest);
+      continue;
+    }
+    // Advance: retire the oldest variable, introduce a fresh one. Once the
+    // variable pool is exhausted, keep cycling inside the final window.
+    if (next_fresh < params.num_vars) {
+      current = next_fresh++;
+      if (next_fresh - oldest > window) ++oldest;
+    } else {
+      current = oldest + rng.NextBelow(next_fresh - oldest);
+    }
+  }
+  return seq;
+}
+
+}  // namespace rtmp::trace

@@ -1,0 +1,112 @@
+// Synthetic access-sequence generators.
+//
+// These synthesize the workload families that drive the evaluation: the
+// OffsetStone-lite suite (src/offsetstone) composes them per benchmark, and
+// tests/benches use them directly. Every generator is deterministic given
+// the Rng it is handed.
+//
+// Families and the behaviour they exercise:
+//  * Uniform  — no structure; worst case for everything, sanity floor.
+//  * Zipf     — frequency skew with no temporal structure; the regime where
+//               AFD's frequency-only policy is at its best.
+//  * Phased   — program phases touching disjoint variable groups, plus a few
+//               long-lived globals; the regime DMA's liveliness analysis is
+//               designed for (DSP kernels, staged pipelines).
+//  * Markov   — control-dominated code: a transition matrix with locality
+//               ("after u, likely v") and hot states; overlapping lifespans.
+//  * LoopNest — strided sweeps over array-like variable blocks repeated per
+//               iteration, optionally with loop-carried scalars; a trace may
+//               chain several kernels, each with fresh arrays (disjoint
+//               working sets across kernels, as in tiled/staged pipelines).
+//  * Sequential — straight-line compiler traces (the OffsetStone shape):
+//               a small sliding window of live variables, heavy repetition
+//               of the current variable, windows advancing monotonically so
+//               most variables have short lifespans disjoint from all but
+//               their neighbors. This is the dominant structure of offset-
+//               assignment access sequences.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "trace/access_sequence.h"
+#include "util/rng.h"
+
+namespace rtmp::trace {
+
+/// Naming scheme for generated variables: "v0", "v1", ...
+[[nodiscard]] std::string MakeVariableName(std::size_t index);
+
+struct UniformParams {
+  std::size_t num_vars = 16;
+  std::size_t length = 256;
+  double write_fraction = 0.3;
+};
+
+struct ZipfParams {
+  std::size_t num_vars = 64;
+  std::size_t length = 1024;
+  double exponent = 1.0;  // Zipf skew; 0 degenerates to uniform.
+  double write_fraction = 0.3;
+};
+
+struct PhasedParams {
+  std::size_t num_phases = 6;
+  std::size_t vars_per_phase = 8;
+  std::size_t accesses_per_phase = 96;
+  std::size_t num_globals = 2;      // long-lived variables spanning phases
+  double global_access_prob = 0.08; // chance an access hits a global
+  double zipf_exponent = 0.8;       // skew inside a phase
+  double write_fraction = 0.3;
+};
+
+struct MarkovParams {
+  std::size_t num_vars = 48;
+  std::size_t length = 1024;
+  double self_loop_prob = 0.25;   // repeat the same variable
+  double locality_prob = 0.55;    // jump to an id-nearby variable
+  std::size_t locality_window = 4;
+  double hot_jump_zipf = 1.1;     // otherwise jump Zipf-distributed by rank
+  double write_fraction = 0.3;
+};
+
+struct LoopNestParams {
+  std::size_t num_arrays = 3;
+  std::size_t array_len = 12;     // variables per array block
+  std::size_t num_scalars = 4;    // loop-carried scalars (i, acc, ...)
+  std::size_t iterations = 10;
+  std::size_t stride = 1;
+  std::size_t num_kernels = 1;    // kernels chained back to back, each with
+                                  // fresh arrays (scalars persist)
+  double scalar_access_prob = 0.25;
+  double write_fraction = 0.3;
+};
+
+struct SequentialParams {
+  std::size_t num_vars = 48;      // short-lived variables introduced in order
+  std::size_t length = 512;
+  std::size_t window = 2;         // live short-lived variables at any time
+  double stay_prob = 0.55;        // repeat the current variable
+  double neighbor_prob = 0.25;    // touch another live-window variable
+  // Remaining probability advances the window: the oldest variable dies
+  // (permanently) and a fresh one becomes current.
+  std::size_t num_globals = 3;    // persistent variables (induction vars,
+                                  // state) interleaved across the whole run
+  double global_access_prob = 0.15;
+  double write_fraction = 0.3;
+};
+
+[[nodiscard]] AccessSequence GenerateUniform(const UniformParams& params,
+                                             util::Rng& rng);
+[[nodiscard]] AccessSequence GenerateZipf(const ZipfParams& params,
+                                          util::Rng& rng);
+[[nodiscard]] AccessSequence GeneratePhased(const PhasedParams& params,
+                                            util::Rng& rng);
+[[nodiscard]] AccessSequence GenerateMarkov(const MarkovParams& params,
+                                            util::Rng& rng);
+[[nodiscard]] AccessSequence GenerateLoopNest(const LoopNestParams& params,
+                                              util::Rng& rng);
+[[nodiscard]] AccessSequence GenerateSequential(const SequentialParams& params,
+                                                util::Rng& rng);
+
+}  // namespace rtmp::trace

@@ -1,0 +1,84 @@
+#include "trace/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace rtmp::trace {
+
+namespace {
+constexpr std::string_view kBenchmarkDirective = "benchmark";
+constexpr std::string_view kSequenceDirective = "sequence";
+}  // namespace
+
+TraceFile ReadTrace(std::istream& in) {
+  TraceFile trace;
+  std::vector<std::vector<std::string>> token_lists;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto tokens = util::SplitWhitespace(trimmed);
+    if (tokens.front() == kBenchmarkDirective) {
+      if (tokens.size() != 2) {
+        throw std::runtime_error("trace: 'benchmark' needs exactly one name");
+      }
+      trace.benchmark = tokens[1];
+      continue;
+    }
+    if (tokens.front() == kSequenceDirective) {
+      if (tokens.size() > 2) {
+        throw std::runtime_error("trace: 'sequence' takes at most one name");
+      }
+      trace.sequence_names.push_back(tokens.size() == 2 ? tokens[1] : "");
+      token_lists.emplace_back();
+      continue;
+    }
+    if (token_lists.empty()) {
+      throw std::runtime_error(
+          "trace: access tokens before any 'sequence' directive");
+    }
+    auto& current = token_lists.back();
+    current.insert(current.end(), tokens.begin(), tokens.end());
+  }
+  trace.sequences.reserve(token_lists.size());
+  for (const auto& tokens : token_lists) {
+    trace.sequences.push_back(AccessSequence::FromTokens(tokens));
+  }
+  return trace;
+}
+
+TraceFile ReadTraceFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadTrace(in);
+}
+
+void WriteTrace(std::ostream& out, const TraceFile& trace) {
+  out << "# rtmplace trace v1\n";
+  if (!trace.benchmark.empty()) out << "benchmark " << trace.benchmark << '\n';
+  for (std::size_t i = 0; i < trace.sequences.size(); ++i) {
+    out << "sequence";
+    if (i < trace.sequence_names.size() && !trace.sequence_names[i].empty()) {
+      out << ' ' << trace.sequence_names[i];
+    }
+    out << '\n';
+    const AccessSequence& seq = trace.sequences[i];
+    constexpr std::size_t kPerLine = 16;
+    for (std::size_t j = 0; j < seq.size(); ++j) {
+      out << seq.name_of(seq[j].variable);
+      if (seq[j].type == AccessType::kWrite) out << '!';
+      out << ((j + 1) % kPerLine == 0 || j + 1 == seq.size() ? '\n' : ' ');
+    }
+  }
+}
+
+std::string WriteTraceToString(const TraceFile& trace) {
+  std::ostringstream out;
+  WriteTrace(out, trace);
+  return out.str();
+}
+
+}  // namespace rtmp::trace

@@ -1,0 +1,44 @@
+// Text serialization of access traces.
+//
+// Format ("rtmplace trace v1"), line oriented:
+//
+//   # comment                          -- ignored
+//   benchmark <name>                   -- optional benchmark name
+//   sequence [<name>]                  -- starts a new access sequence
+//   a b a c! b ...                     -- accesses; '!' suffix marks a write
+//
+// Access lines may be split over multiple lines; a sequence ends at the next
+// `sequence` directive or end of file. This mirrors the shape of OffsetStone
+// inputs (one file per benchmark, many access sequences per file).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/access_sequence.h"
+
+namespace rtmp::trace {
+
+/// A parsed trace file: a named benchmark with one sequence per entry.
+struct TraceFile {
+  std::string benchmark;
+  std::vector<std::string> sequence_names;
+  std::vector<AccessSequence> sequences;
+};
+
+/// Parses a trace from a stream. Throws std::runtime_error on malformed
+/// input (unknown directive, access tokens before any `sequence`).
+[[nodiscard]] TraceFile ReadTrace(std::istream& in);
+
+/// Parses a trace from a string (convenience for tests).
+[[nodiscard]] TraceFile ReadTraceFromString(const std::string& text);
+
+/// Serializes a trace; ReadTrace(WriteTrace(t)) round-trips names, access
+/// order and access types.
+void WriteTrace(std::ostream& out, const TraceFile& trace);
+
+/// Serializes to a string (convenience for tests).
+[[nodiscard]] std::string WriteTraceToString(const TraceFile& trace);
+
+}  // namespace rtmp::trace

@@ -1,0 +1,28 @@
+#include "trace/variable_stats.h"
+
+namespace rtmp::trace {
+
+std::vector<VariableStats> ComputeVariableStats(const AccessSequence& seq) {
+  std::vector<VariableStats> stats(seq.num_variables());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    VariableStats& s = stats[seq[i].variable];
+    ++s.frequency;
+    if (s.first == kNever) s.first = i;
+    s.last = i;
+  }
+  return stats;
+}
+
+bool LifespansDisjoint(const VariableStats& a,
+                       const VariableStats& b) noexcept {
+  if (a.first == kNever || b.first == kNever) return true;
+  return a.last < b.first || b.last < a.first;
+}
+
+bool LifespanNestedWithin(const VariableStats& inner,
+                          const VariableStats& outer) noexcept {
+  if (inner.first == kNever || outer.first == kNever) return false;
+  return inner.first > outer.first && inner.last < outer.last;
+}
+
+}  // namespace rtmp::trace

@@ -1,0 +1,42 @@
+#include "util/csv.h"
+
+namespace rtmp::util {
+
+std::string CsvEscape(std::string_view field, char sep) {
+  const bool needs_quotes =
+      field.find(sep) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      field.find('\r') != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << sep_;
+    out_ << CsvEscape(fields[i], sep_);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::WriteRow(std::initializer_list<std::string_view> fields) {
+  std::size_t i = 0;
+  for (const auto field : fields) {
+    if (i++ != 0) out_ << sep_;
+    out_ << CsvEscape(field, sep_);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace rtmp::util

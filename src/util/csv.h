@@ -1,0 +1,40 @@
+// Minimal CSV emission for experiment results. Benches write their series
+// both as human-readable tables (util/table.h) and machine-readable CSV so
+// plots can be regenerated outside the repo.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtmp::util {
+
+/// Escapes a single CSV field per RFC 4180 (quotes fields containing the
+/// separator, quotes or newlines; doubles embedded quotes).
+[[nodiscard]] std::string CsvEscape(std::string_view field, char sep = ',');
+
+/// Streaming CSV writer. Owns no buffer; rows go straight to the ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: header then rows.
+  void WriteHeader(std::initializer_list<std::string_view> fields) {
+    WriteRow(fields);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  char sep_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace rtmp::util

@@ -1,0 +1,69 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace rtmp::util {
+
+double Mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double GeoMean(std::span<const double> values, double floor) noexcept {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(std::max(v, floor));
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double StdDev(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - mu) * (v - mu);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double Median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+double Min(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  s.mean = Mean(values);
+  s.geomean = GeoMean(values);
+  s.median = Median(values);
+  s.stddev = StdDev(values);
+  s.min = Min(values);
+  s.max = Max(values);
+  return s;
+}
+
+std::string FormatFixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace rtmp::util

@@ -1,0 +1,48 @@
+// Small descriptive-statistics helpers used by the experiment harness to
+// aggregate per-benchmark results the same way the paper does (geometric
+// means over benchmarks, arithmetic means over configurations).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace rtmp::util {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double Mean(std::span<const double> values) noexcept;
+
+/// Geometric mean computed in log-space; requires strictly positive values
+/// (non-positive entries are clamped to `floor` to keep aggregate plots
+/// well-defined when a cost is zero). 0 for an empty span.
+[[nodiscard]] double GeoMean(std::span<const double> values,
+                             double floor = 1e-12) noexcept;
+
+/// Population standard deviation; 0 for fewer than two values.
+[[nodiscard]] double StdDev(std::span<const double> values) noexcept;
+
+/// Median (average of middle two for even sizes); 0 for an empty span.
+[[nodiscard]] double Median(std::span<const double> values);
+
+/// Minimum / maximum; 0 for an empty span.
+[[nodiscard]] double Min(std::span<const double> values) noexcept;
+[[nodiscard]] double Max(std::span<const double> values) noexcept;
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double geomean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary Summarize(std::span<const double> values);
+
+/// Formats a double with `digits` significant fraction digits, trimming to a
+/// compact human-readable string for report tables.
+[[nodiscard]] std::string FormatFixed(double value, int digits);
+
+}  // namespace rtmp::util

@@ -1,0 +1,30 @@
+// String helpers shared by the trace parser and report code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtmp::util {
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view Trim(std::string_view text) noexcept;
+
+/// Splits on any amount of ASCII whitespace; no empty tokens are produced.
+[[nodiscard]] std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Splits on a single separator character; empty fields are kept.
+[[nodiscard]] std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins with a separator.
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lower-casing.
+[[nodiscard]] std::string ToLower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool StartsWith(std::string_view text,
+                              std::string_view prefix) noexcept;
+
+}  // namespace rtmp::util

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rtmp::util {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::SetAlignments(std::vector<Align> alignments) {
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*is_rule=*/false});
+}
+
+void TextTable::AddRule() { rows_.push_back(Row{{}, /*is_rule=*/true}); }
+
+std::string TextTable::Render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.cells.size());
+  if (columns == 0) return {};
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto account = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) {
+    if (!row.is_rule) account(row.cells);
+  }
+
+  auto align_of = [this](std::size_t column) {
+    return column < alignments_.size() ? alignments_[column] : Align::kLeft;
+  };
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      const std::size_t pad = widths[i] - cell.size();
+      if (i != 0) out << "  ";
+      if (align_of(i) == Align::kRight) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (i != 0) out << "  ";
+      out << std::string(widths[i], '-');
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    emit_rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.is_rule) emit_rule();
+    else emit(row.cells);
+  }
+  return out.str();
+}
+
+}  // namespace rtmp::util

@@ -1,0 +1,46 @@
+// Fixed-width ASCII table rendering for bench output. Keeps every bench
+// binary's stdout in the same layout the paper's tables/figures use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtmp::util {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Builds an ASCII table with a header row, a separator, and data rows.
+/// Column widths are computed from content. Intended for small report
+/// tables, not bulk data (use CsvWriter for that).
+class TextTable {
+ public:
+  /// Sets the header; resets alignment to kLeft for new columns.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Sets per-column alignment; missing entries default to kLeft.
+  void SetAlignments(std::vector<Align> alignments);
+
+  /// Appends a row; rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal rule row (rendered as dashes).
+  void AddRule();
+
+  /// Renders the table to a string, each line terminated by '\n'.
+  [[nodiscard]] std::string Render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rtmp::util

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "rtm/controller.h"
+#include "rtm/device.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::rtm {
+namespace {
+
+std::vector<TimedRequest> BackToBack(
+    std::initializer_list<std::pair<unsigned, std::uint32_t>> accesses) {
+  std::vector<TimedRequest> requests;
+  for (const auto& [dbc, domain] : accesses) {
+    requests.push_back(TimedRequest{0.0, dbc, domain,
+                                    trace::AccessType::kRead});
+  }
+  return requests;
+}
+
+TEST(Controller, SerialModeMatchesDeviceRuntime) {
+  const RtmConfig config = RtmConfig::Paper(4);
+  const auto requests =
+      BackToBack({{0, 10}, {1, 50}, {0, 30}, {2, 5}, {1, 50}, {0, 10}});
+
+  RtmController controller(config, ControllerConfig{});
+  (void)controller.Execute(requests);
+
+  RtmDevice device(config);
+  for (const auto& r : requests) device.Access(r.dbc, r.domain, r.type);
+
+  EXPECT_EQ(controller.stats().shifts, device.stats().shifts);
+  EXPECT_DOUBLE_EQ(controller.stats().makespan_ns, device.stats().runtime_ns);
+  EXPECT_DOUBLE_EQ(controller.stats().channel_busy_ns,
+                   device.stats().runtime_ns);
+  EXPECT_DOUBLE_EQ(controller.stats().hidden_shift_ns, 0.0);
+}
+
+TEST(Controller, ProactiveAlignmentHidesShiftsBehindOtherDbcs) {
+  const RtmConfig config = RtmConfig::Paper(4);
+  // Ping-pong between two DBCs with long jumps inside each: while DBC0's
+  // access is on the channel, DBC1 can pre-shift, and vice versa.
+  std::vector<TimedRequest> requests;
+  for (int i = 0; i < 20; ++i) {
+    requests.push_back(
+        TimedRequest{0.0, 0u, static_cast<std::uint32_t>(i % 2 ? 200 : 10),
+                     trace::AccessType::kRead});
+    requests.push_back(
+        TimedRequest{0.0, 1u, static_cast<std::uint32_t>(i % 2 ? 20 : 180),
+                     trace::AccessType::kRead});
+  }
+
+  RtmController serial(config, ControllerConfig{});
+  (void)serial.Execute(requests);
+  ControllerConfig proactive_config;
+  proactive_config.proactive_alignment = true;
+  proactive_config.lookahead = 1;
+  RtmController proactive(config, proactive_config);
+  (void)proactive.Execute(requests);
+
+  EXPECT_EQ(serial.stats().shifts, proactive.stats().shifts);
+  EXPECT_LT(proactive.stats().makespan_ns, serial.stats().makespan_ns);
+  EXPECT_GT(proactive.stats().hidden_shift_ns, 0.0);
+}
+
+TEST(Controller, ProactiveNeverSlowerThanSerial) {
+  const RtmConfig config = RtmConfig::Paper(8);
+  std::vector<TimedRequest> requests;
+  std::uint32_t domain = 3;
+  for (int i = 0; i < 100; ++i) {
+    domain = (domain * 37 + 11) % config.domains_per_dbc;
+    requests.push_back(TimedRequest{0.0, static_cast<unsigned>(i % 8), domain,
+                                    i % 3 == 0 ? trace::AccessType::kWrite
+                                               : trace::AccessType::kRead});
+  }
+  RtmController serial(config, ControllerConfig{});
+  (void)serial.Execute(requests);
+  for (const unsigned lookahead : {0u, 1u, 2u, 8u}) {
+    ControllerConfig pc;
+    pc.proactive_alignment = true;
+    pc.lookahead = lookahead;
+    RtmController proactive(config, pc);
+    (void)proactive.Execute(requests);
+    EXPECT_LE(proactive.stats().makespan_ns,
+              serial.stats().makespan_ns + 1e-9)
+        << lookahead;
+    EXPECT_EQ(proactive.stats().shifts, serial.stats().shifts) << lookahead;
+  }
+}
+
+TEST(Controller, DeeperLookaheadHidesAtLeastAsMuch) {
+  const RtmConfig config = RtmConfig::Paper(4);
+  std::vector<TimedRequest> requests;
+  std::uint32_t domain = 7;
+  for (int i = 0; i < 60; ++i) {
+    domain = (domain * 53 + 29) % config.domains_per_dbc;
+    requests.push_back(TimedRequest{0.0, static_cast<unsigned>((i * 7) % 4),
+                                    domain, trace::AccessType::kRead});
+  }
+  double last_hidden = -1.0;
+  for (const unsigned lookahead : {0u, 1u, 4u}) {
+    ControllerConfig pc;
+    pc.proactive_alignment = true;
+    pc.lookahead = lookahead;
+    RtmController controller(config, pc);
+    (void)controller.Execute(requests);
+    EXPECT_GE(controller.stats().hidden_shift_ns, last_hidden) << lookahead;
+    last_hidden = controller.stats().hidden_shift_ns;
+  }
+}
+
+TEST(Controller, HiddenPlusExposedEqualsShiftBusy) {
+  const RtmConfig config = RtmConfig::Paper(4);
+  ControllerConfig pc;
+  pc.proactive_alignment = true;
+  RtmController controller(config, pc);
+  const auto timings = controller.Execute(
+      BackToBack({{0, 100}, {1, 200}, {0, 20}, {1, 10}, {2, 99}}));
+  double hidden = 0.0;
+  for (const auto& t : timings) hidden += t.hidden_shift_ns;
+  EXPECT_DOUBLE_EQ(hidden, controller.stats().hidden_shift_ns);
+  EXPECT_LE(controller.stats().hidden_shift_ns,
+            controller.stats().shift_busy_ns + 1e-9);
+}
+
+TEST(Controller, RespectsArrivalTimes) {
+  const RtmConfig config = RtmConfig::Paper(2);
+  std::vector<TimedRequest> requests{
+      {0.0, 0, 5, trace::AccessType::kRead},
+      {1000.0, 0, 5, trace::AccessType::kRead},  // arrives after a gap
+  };
+  RtmController controller(config, ControllerConfig{});
+  const auto timings = controller.Execute(requests);
+  EXPECT_GE(timings[1].access_start_ns, 1000.0);
+}
+
+TEST(Controller, RejectsDecreasingArrivals) {
+  RtmController controller(RtmConfig::Paper(2), ControllerConfig{});
+  std::vector<TimedRequest> bad{
+      {10.0, 0, 1, trace::AccessType::kRead},
+      {5.0, 0, 2, trace::AccessType::kRead},
+  };
+  EXPECT_THROW((void)controller.Execute(bad), std::invalid_argument);
+}
+
+TEST(Controller, RejectsBadDbc) {
+  RtmController controller(RtmConfig::Paper(2), ControllerConfig{});
+  std::vector<TimedRequest> bad{{0.0, 9, 1, trace::AccessType::kRead}};
+  EXPECT_THROW((void)controller.Execute(bad), std::out_of_range);
+}
+
+TEST(Controller, EnergyUsesMakespanForLeakage) {
+  const RtmConfig config = RtmConfig::Paper(2);
+  RtmController controller(config, ControllerConfig{});
+  (void)controller.Execute(BackToBack({{0, 10}, {1, 400}, {0, 200}}));
+  const EnergyBreakdown energy = controller.Energy();
+  EXPECT_DOUBLE_EQ(energy.leakage_pj,
+                   config.params.leakage_mw * controller.stats().makespan_ns);
+}
+
+TEST(Controller, ResetRestoresCleanState) {
+  RtmController controller(RtmConfig::Paper(2), ControllerConfig{});
+  (void)controller.Execute(BackToBack({{0, 100}, {0, 5}}));
+  controller.Reset();
+  EXPECT_EQ(controller.stats().requests, 0u);
+  const auto timings = controller.Execute(BackToBack({{0, 100}}));
+  EXPECT_EQ(timings[0].shifts, 0u);  // first access free again
+}
+
+TEST(Controller, ReplaySequenceWrapsPlacements) {
+  const auto seq = trace::AccessSequence::FromCompactString("abab");
+  const std::vector<std::pair<unsigned, std::uint32_t>> locations{
+      {0u, 0u}, {1u, 3u}};
+  const ControllerStats stats =
+      ReplaySequence(seq, locations, RtmConfig::Paper(2), ControllerConfig{});
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.shifts, 0u);  // both DBCs keep their ports aligned
+  EXPECT_THROW((void)ReplaySequence(seq, {{0u, 0u}}, RtmConfig::Paper(2),
+                                    ControllerConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtmp::rtm

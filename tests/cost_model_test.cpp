@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/placement.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::core {
+namespace {
+
+using trace::AccessSequence;
+
+TEST(CostModel, SingleDbcWalk) {
+  const auto seq = AccessSequence::FromCompactString("abcba");
+  // a=0, b=1, c=2 at offsets 0,1,2.
+  const auto p = Placement::FromLists({{0, 1, 2}}, 3);
+  // free, 1, 1, 1, 1 = 4
+  EXPECT_EQ(ShiftCost(seq, p), 4u);
+}
+
+TEST(CostModel, FirstAccessFreePerDbc) {
+  const auto seq = AccessSequence::FromCompactString("ab");
+  // Both variables in separate DBCs at offset 3 via padding variables.
+  const auto p = Placement::FromLists({{2, 3, 0}, {4, 5, 1}}, 6);
+  EXPECT_EQ(ShiftCost(seq, p), 0u);  // each DBC's first access is free
+}
+
+TEST(CostModel, ZeroAlignmentPaysInitialDistance) {
+  const auto seq = AccessSequence::FromCompactString("ab");
+  const auto p = Placement::FromLists({{2, 3, 0}, {4, 5, 1}}, 6);
+  CostOptions options;
+  options.initial_alignment = rtm::InitialAlignment::kZero;
+  EXPECT_EQ(ShiftCost(seq, p, options), 4u);  // offset 2 + offset 2
+}
+
+TEST(CostModel, PerDbcDecompositionSumsToTotal) {
+  const auto seq = AccessSequence::FromCompactString("abcabcabc");
+  const auto p = Placement::FromLists({{0, 2}, {1}}, 3);
+  const auto per_dbc = PerDbcShiftCost(seq, p);
+  std::uint64_t sum = 0;
+  for (const auto c : per_dbc) sum += c;
+  EXPECT_EQ(sum, ShiftCost(seq, p));
+}
+
+TEST(CostModel, InterleavedAccessesDoNotDisturbOtherDbcs) {
+  const auto seq = AccessSequence::FromCompactString("axbxaxbx");
+  // a,b in DBC0 (offsets 0,1); x in DBC1.
+  const auto p = Placement::FromLists({{0, 2}, {1}}, 3);
+  // DBC0 walk: a(free) b(1) a(1) b(1) = 3; DBC1: all self-accesses = 0.
+  EXPECT_EQ(ShiftCost(seq, p), 3u);
+}
+
+TEST(CostModel, SelfAccessesAreFree) {
+  const auto seq = AccessSequence::FromCompactString("aaaa");
+  const auto p = Placement::FromLists({{1, 0}}, 2);
+  EXPECT_EQ(ShiftCost(seq, p), 0u);
+}
+
+TEST(CostModel, SinglePortOffsetDoesNotChangeInterAccessCost) {
+  const auto seq = AccessSequence::FromCompactString("abab");
+  const auto p = Placement::FromLists({{0, 1}}, 2);
+  CostOptions at_zero;
+  at_zero.port_offsets = {0};
+  CostOptions at_five;
+  at_five.port_offsets = {5};
+  at_five.domains_per_dbc = 8;
+  EXPECT_EQ(ShiftCost(seq, p, at_zero), ShiftCost(seq, p, at_five));
+}
+
+TEST(CostModel, SinglePortOffsetMattersOnlyForPaidFirstAccess) {
+  const auto seq = AccessSequence::FromCompactString("a");
+  const auto p = Placement::FromLists({{1, 0}}, 2);  // a at offset 1
+  CostOptions options;
+  options.initial_alignment = rtm::InitialAlignment::kZero;
+  options.port_offsets = {3};
+  options.domains_per_dbc = 4;
+  // Alignment 0, target = 1 - 3 = -2 -> 2 shifts.
+  EXPECT_EQ(ShiftCost(seq, p, options), 2u);
+}
+
+TEST(CostModel, TwoPortsHalveLongJumps) {
+  // Variables at offsets 0 and 9; ports at 0 and 9.
+  const auto seq = AccessSequence::FromCompactString("abababab");
+  std::vector<std::vector<VariableId>> lists{{0, 2, 3, 4, 5, 6, 7, 8, 9, 1}};
+  const auto p = Placement::FromLists(lists, 10);
+  CostOptions one_port;
+  one_port.domains_per_dbc = 10;
+  CostOptions two_ports;
+  two_ports.port_offsets = {0, 9};
+  two_ports.domains_per_dbc = 10;
+  const auto single = ShiftCost(seq, p, one_port);
+  const auto dual = ShiftCost(seq, p, two_ports);
+  EXPECT_EQ(single, 7u * 9u);  // every hop pays 9
+  EXPECT_EQ(dual, 0u);         // each variable has its own port
+}
+
+TEST(CostModel, MultiPortNeverWorseThanSinglePort) {
+  const auto seq =
+      AccessSequence::FromCompactString("abcdefghabcdefghhgfedcba");
+  const auto p =
+      Placement::FromLists({{0, 1, 2, 3, 4, 5, 6, 7}}, 8);
+  CostOptions one;
+  one.domains_per_dbc = 8;
+  CostOptions two;
+  two.port_offsets = {0, 4};
+  two.domains_per_dbc = 8;
+  EXPECT_LE(ShiftCost(seq, p, two), ShiftCost(seq, p, one));
+}
+
+TEST(CostModel, ThrowsOnUnplacedAccessedVariable) {
+  const auto seq = AccessSequence::FromCompactString("ab");
+  const auto p = Placement::FromLists({{0}}, 2);  // b unplaced
+  EXPECT_THROW((void)ShiftCost(seq, p), std::logic_error);
+}
+
+TEST(CostModel, ThrowsOnEmptyPortList) {
+  const auto seq = AccessSequence::FromCompactString("a");
+  const auto p = Placement::FromLists({{0}}, 1);
+  CostOptions options;
+  options.port_offsets = {};
+  EXPECT_THROW((void)ShiftCost(seq, p, options), std::invalid_argument);
+}
+
+TEST(CostModel, WalkCostMatchesShiftCostOnSingleDbc) {
+  const auto seq = AccessSequence::FromCompactString("abcabacbc");
+  const std::vector<VariableId> order{2, 0, 1};
+  const auto p = Placement::FromLists({order}, 3);
+  EXPECT_EQ(WalkCost(seq.accesses(), order, 3), ShiftCost(seq, p));
+}
+
+TEST(CostModel, WalkCostFirstAccessPaysMode) {
+  // Ids by first appearance: b = 0, a = 1. Order {1, 0}: a at offset 0,
+  // b at offset 1.
+  const auto seq = AccessSequence::FromCompactString("ba");
+  const std::vector<VariableId> order{1, 0};
+  EXPECT_EQ(WalkCost(seq.accesses(), order, 2, /*first_access_pays=*/false),
+            1u);  // b free, then hop to a
+  EXPECT_EQ(WalkCost(seq.accesses(), order, 2, /*first_access_pays=*/true),
+            2u);  // start at offset 0: reach b (1), back to a (1)
+}
+
+TEST(CostModel, WalkCostThrowsOnMissingVariable) {
+  const auto seq = AccessSequence::FromCompactString("ab");
+  const std::vector<VariableId> order{0};
+  EXPECT_THROW((void)WalkCost(seq.accesses(), order, 2), std::logic_error);
+}
+
+TEST(CostModel, EmptySequenceCostsNothing) {
+  trace::AccessSequence seq;
+  seq.AddVariable("a");
+  const auto p = Placement::FromLists({{0}}, 1);
+  EXPECT_EQ(ShiftCost(seq, p), 0u);
+}
+
+}  // namespace
+}  // namespace rtmp::core

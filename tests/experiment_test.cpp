@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.h"
+
+namespace rtmp::sim {
+namespace {
+
+offsetstone::Benchmark TinyBenchmark(const char* name, const char* text) {
+  offsetstone::Benchmark b;
+  b.name = name;
+  b.sequences.push_back(trace::AccessSequence::FromCompactString(text));
+  return b;
+}
+
+ExperimentOptions FastOptions() {
+  ExperimentOptions options;
+  options.dbc_counts = {2, 4};
+  options.strategies = {
+      {core::InterPolicy::kAfd, core::IntraHeuristic::kOfu},
+      {core::InterPolicy::kDma, core::IntraHeuristic::kOfu},
+  };
+  options.search_effort = 0.01;
+  return options;
+}
+
+TEST(Experiment, RunCellAccumulatesAllSequences) {
+  offsetstone::Benchmark b = TinyBenchmark("two-seqs", "ababab");
+  b.sequences.push_back(trace::AccessSequence::FromCompactString("cdcd"));
+  const RunResult result =
+      RunCell(b, 2, {core::InterPolicy::kAfd, core::IntraHeuristic::kOfu},
+              FastOptions());
+  EXPECT_EQ(result.metrics.accesses, 6u + 4u);
+  EXPECT_GT(result.metrics.runtime_ns, 0.0);
+  EXPECT_GT(result.metrics.total_energy_pj(), 0.0);
+}
+
+TEST(Experiment, RunMatrixCoversTheWholeGrid) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("one", "abcabc"), TinyBenchmark("two", "aabbcc")};
+  const auto options = FastOptions();
+  const auto results = RunMatrix(suite, options);
+  EXPECT_EQ(results.size(), suite.size() * options.dbc_counts.size() *
+                                options.strategies.size());
+}
+
+TEST(Experiment, ResultTableLooksUpCells) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("one", "abcabc")};
+  const auto options = FastOptions();
+  const ResultTable table(RunMatrix(suite, options));
+  const auto& metrics =
+      table.At("one", 2, {core::InterPolicy::kAfd, core::IntraHeuristic::kOfu});
+  EXPECT_EQ(metrics.accesses, 6u);
+  EXPECT_THROW(table.At("missing", 2, options.strategies[0]),
+               std::out_of_range);
+}
+
+TEST(Experiment, NormalizedShiftsHandleZeroBaselines) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("trivial", "aaaa")};  // zero shifts for everyone
+  const auto options = FastOptions();
+  const ResultTable table(RunMatrix(suite, options));
+  const auto normalized = table.NormalizedShifts(
+      {"trivial"}, 2, options.strategies[0], options.strategies[1]);
+  ASSERT_EQ(normalized.size(), 1u);
+  EXPECT_DOUBLE_EQ(normalized[0], 1.0);
+}
+
+TEST(Experiment, DmaNeverLosesToAfdOnPhasedWorkload) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("phased", "g" "ababab" "g" "cdcdcd" "g" "efefef" "g")};
+  const auto options = FastOptions();
+  const ResultTable table(RunMatrix(suite, options));
+  for (const unsigned dbcs : options.dbc_counts) {
+    const auto afd =
+        table.At("phased", dbcs, options.strategies[0]).shifts;
+    const auto dma =
+        table.At("phased", dbcs, options.strategies[1]).shifts;
+    EXPECT_LE(dma, afd) << dbcs;
+  }
+}
+
+TEST(Experiment, OversizedSequenceWidensTheDevice) {
+  // 1100 variables exceed the 1024-word 4 KiB device: the harness must
+  // widen DBC depth instead of throwing (DESIGN.md §3).
+  offsetstone::Benchmark big;
+  big.name = "big";
+  trace::AccessSequence seq;
+  for (int i = 0; i < 1100; ++i) {
+    seq.AddVariable("v" + std::to_string(i));
+  }
+  for (int i = 0; i < 1100; ++i) {
+    seq.Append(static_cast<trace::VariableId>(i));
+  }
+  big.sequences.push_back(std::move(seq));
+  ExperimentOptions options = FastOptions();
+  options.dbc_counts = {2};
+  options.strategies = {{core::InterPolicy::kAfd, core::IntraHeuristic::kOfu}};
+  const auto results = RunMatrix({big}, options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].metrics.accesses, 1100u);
+}
+
+TEST(Experiment, SearchEffortFromEnvParsesAndFallsBack) {
+  ::unsetenv("RTMPLACE_EFFORT");
+  EXPECT_DOUBLE_EQ(SearchEffortFromEnv(0.25), 0.25);
+  ::setenv("RTMPLACE_EFFORT", "0.5", 1);
+  EXPECT_DOUBLE_EQ(SearchEffortFromEnv(0.25), 0.5);
+  ::setenv("RTMPLACE_EFFORT", "garbage", 1);
+  EXPECT_DOUBLE_EQ(SearchEffortFromEnv(0.25), 0.25);
+  ::setenv("RTMPLACE_EFFORT", "-1", 1);
+  EXPECT_DOUBLE_EQ(SearchEffortFromEnv(0.25), 0.25);
+  ::unsetenv("RTMPLACE_EFFORT");
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("det", "abcdabcdabcd")};
+  ExperimentOptions options = FastOptions();
+  options.strategies = core::PaperStrategies();
+  options.dbc_counts = {2};
+  const auto a = RunMatrix(suite, options);
+  const auto b = RunMatrix(suite, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].metrics.shifts, b[i].metrics.shifts);
+    EXPECT_DOUBLE_EQ(a[i].metrics.runtime_ns, b[i].metrics.runtime_ns);
+  }
+}
+
+}  // namespace
+}  // namespace rtmp::sim

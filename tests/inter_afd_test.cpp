@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/inter_afd.h"
+#include "trace/access_sequence.h"
+#include "trace/variable_stats.h"
+
+namespace rtmp::core {
+namespace {
+
+using trace::AccessSequence;
+
+TEST(Afd, SortIsStableOnTies) {
+  // Frequencies: a=2, b=2, c=3 with ids a=0,b=1,c=2.
+  const auto seq = AccessSequence::FromCompactString("abcabc" "c");
+  const auto stats = trace::ComputeVariableStats(seq);
+  const auto order = SortByFrequencyDescending(stats, seq);
+  EXPECT_EQ(order, (std::vector<VariableId>{2, 0, 1}));
+}
+
+TEST(Afd, RoundRobinDeal) {
+  // Distinct frequencies force a known deal order: e(5) d(4) c(3) b(2) a(1).
+  const auto seq =
+      AccessSequence::FromCompactString("a" "bb" "ccc" "dddd" "eeeee");
+  const Placement p =
+      DistributeAfd(seq, 2, kUnboundedCapacity, {IntraHeuristic::kNone});
+  // ids: a=0 b=1 c=2 d=3 e=4; deal e->0 d->1 c->0 b->1 a->0.
+  EXPECT_EQ(p.dbc(0), (std::vector<VariableId>{4, 2, 0}));
+  EXPECT_EQ(p.dbc(1), (std::vector<VariableId>{3, 1}));
+}
+
+TEST(Afd, PlacesEveryVariableExactlyOnce) {
+  const auto seq = AccessSequence::FromCompactString("abcdefgabcdefg");
+  for (const std::uint32_t q : {1u, 2u, 3u, 7u, 9u}) {
+    const Placement p = DistributeAfd(seq, q, kUnboundedCapacity, {});
+    EXPECT_TRUE(p.IsComplete());
+    p.CheckInvariants();
+  }
+}
+
+TEST(Afd, RespectsCapacity) {
+  const auto seq = AccessSequence::FromCompactString("abcdef");
+  const Placement p = DistributeAfd(seq, 3, 2, {});
+  p.CheckInvariants();
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    EXPECT_LE(p.dbc(d).size(), 2u);
+  }
+}
+
+TEST(Afd, ThrowsWhenVariablesExceedTotalCapacity) {
+  const auto seq = AccessSequence::FromCompactString("abcdef");
+  EXPECT_THROW(DistributeAfd(seq, 2, 2, {}), std::invalid_argument);
+}
+
+TEST(Afd, UnaccessedVariablesStillGetSlots) {
+  AccessSequence seq;
+  seq.AddVariable("used");
+  seq.AddVariable("unused");
+  seq.Append(0);
+  const Placement p = DistributeAfd(seq, 2, kUnboundedCapacity, {});
+  EXPECT_TRUE(p.IsComplete());
+}
+
+TEST(Afd, IntraHeuristicLowersCost) {
+  // Adversarial insertion order: frequency deal separates hot pairs; OFU
+  // or Chen must never hurt.
+  const auto seq = AccessSequence::FromCompactString(
+      "abcdefgh" "ahahahah" "bgbgbg" "cfcf" "de");
+  const Placement none =
+      DistributeAfd(seq, 2, kUnboundedCapacity, {IntraHeuristic::kNone});
+  const Placement chen =
+      DistributeAfd(seq, 2, kUnboundedCapacity, {IntraHeuristic::kChen});
+  EXPECT_LE(ShiftCost(seq, chen), ShiftCost(seq, none));
+}
+
+TEST(Afd, SingleDbcDegeneratesToIntraProblem) {
+  const auto seq = AccessSequence::FromCompactString("abcabc");
+  const Placement p =
+      DistributeAfd(seq, 1, kUnboundedCapacity, {IntraHeuristic::kOfu});
+  EXPECT_EQ(p.num_dbcs(), 1u);
+  EXPECT_EQ(p.dbc(0).size(), 3u);
+}
+
+TEST(Afd, EmptySequenceWithVariables) {
+  AccessSequence seq;
+  seq.AddVariable("a");
+  seq.AddVariable("b");
+  const Placement p = DistributeAfd(seq, 2, kUnboundedCapacity, {});
+  EXPECT_TRUE(p.IsComplete());
+  EXPECT_EQ(ShiftCost(seq, p), 0u);
+}
+
+}  // namespace
+}  // namespace rtmp::core

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/inter_dma.h"
+#include "core/multi_dma.h"
+#include "trace/access_sequence.h"
+#include "trace/liveliness.h"
+#include "trace/variable_stats.h"
+
+namespace rtmp::core {
+namespace {
+
+using trace::AccessSequence;
+
+TEST(MultiDma, ExtractsSeveralSetsOnLayeredPhases) {
+  // Chain {a,b,c} with {x,y,z} nested one-per-lifespan (a:[0,4] around
+  // x:[2,2], ...). Algorithm 1 selects {a,b,c} (each beats its nested
+  // singleton); a second extraction on the remainder finds {x,y,z}.
+  const auto seq = AccessSequence::FromCompactString(
+      "aaxaa" "bbybb" "cczcc");
+  MultiDmaOptions options;
+  options.min_traffic_share = 0.1;
+  const auto result = DistributeMultiDma(seq, 4, kUnboundedCapacity, options);
+  result.placement.CheckInvariants();
+  EXPECT_TRUE(result.placement.IsComplete());
+  EXPECT_GE(result.sets.size(), 2u);
+  // Every extracted set must be pairwise disjoint.
+  const auto stats = trace::ComputeVariableStats(seq);
+  for (const auto& set : result.sets) {
+    EXPECT_TRUE(trace::AllPairwiseDisjoint(stats, set));
+  }
+}
+
+TEST(MultiDma, BudgetOfOneSetMatchesSingleSetDma) {
+  // With max_sets = 1 and no traffic threshold, the extension must
+  // reproduce Algorithm 1's placement exactly (same disjoint DBC, same
+  // frequency deal for the remainder).
+  const auto seq = AccessSequence::FromCompactString(
+      "aaxaa" "bbybb" "cczcc" "gg" "g" "pqpqpq");
+  const auto single =
+      DistributeDma(seq, 4, kUnboundedCapacity, {IntraHeuristic::kOfu});
+  MultiDmaOptions options;
+  options.base.intra = IntraHeuristic::kOfu;
+  options.max_sets = 1;
+  options.min_traffic_share = 0.0;
+  const auto multi = DistributeMultiDma(seq, 4, kUnboundedCapacity, options);
+  EXPECT_EQ(multi.placement, single.placement);
+  EXPECT_EQ(ShiftCost(seq, multi.placement),
+            ShiftCost(seq, single.placement));
+}
+
+TEST(MultiDma, WeakSetsDoNotEarnDbcs) {
+  // One strong chain, everything else overlapping: only one set.
+  const auto seq = AccessSequence::FromCompactString(
+      "aaaa" "bbbb" "cccc" "pqrpqrpqr");
+  MultiDmaOptions options;
+  options.min_traffic_share = 0.3;  // demands a very strong second set
+  const auto result = DistributeMultiDma(seq, 4, kUnboundedCapacity, options);
+  EXPECT_LE(result.sets.size(), 1u);
+  EXPECT_TRUE(result.placement.IsComplete());
+}
+
+TEST(MultiDma, MaxSetsCapIsHonored) {
+  const auto seq = AccessSequence::FromCompactString(
+      "aaa" "xx" "bbb" "yy" "ccc" "zz" "ddd" "ww");
+  MultiDmaOptions options;
+  options.max_sets = 1;
+  options.min_traffic_share = 0.0;
+  const auto result = DistributeMultiDma(seq, 8, kUnboundedCapacity, options);
+  EXPECT_LE(result.sets.size(), 1u);
+  EXPECT_EQ(result.disjoint_dbc_count, result.sets.size());
+}
+
+TEST(MultiDma, DefaultBudgetLeavesDbcsForLeftovers) {
+  // With q DBCs the default dedicates at most q/2 to sets.
+  const auto seq = AccessSequence::FromCompactString(
+      "aa" "bb" "cc" "dd" "ee" "ff" "gg" "hh" "pqpqpqpq");
+  MultiDmaOptions options;
+  options.min_traffic_share = 0.0;
+  const auto result = DistributeMultiDma(seq, 4, kUnboundedCapacity, options);
+  EXPECT_LE(result.disjoint_dbc_count, 2u);
+  EXPECT_TRUE(result.placement.IsComplete());
+}
+
+TEST(MultiDma, RespectsCapacityWithTrimming) {
+  // Eight disjoint vars but capacity 3 per DBC: sets must be trimmed.
+  const auto seq = AccessSequence::FromCompactString("aabbccddeeffgghh");
+  MultiDmaOptions options;
+  options.min_traffic_share = 0.0;
+  const auto result = DistributeMultiDma(seq, 4, 3, options);
+  result.placement.CheckInvariants();
+  EXPECT_TRUE(result.placement.IsComplete());
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    EXPECT_LE(result.placement.dbc(d).size(), 3u);
+  }
+}
+
+TEST(MultiDma, ThrowsWhenVariablesExceedTotalCapacity) {
+  const auto seq = AccessSequence::FromCompactString("abcdef");
+  EXPECT_THROW((void)DistributeMultiDma(seq, 2, 2, {}),
+               std::invalid_argument);
+}
+
+TEST(MultiDma, SingleDbcDegeneratesGracefully) {
+  const auto seq = AccessSequence::FromCompactString("aabb" "xyxy");
+  const auto result = DistributeMultiDma(seq, 1, kUnboundedCapacity, {});
+  EXPECT_TRUE(result.placement.IsComplete());
+  EXPECT_TRUE(result.sets.empty());  // no DBC to dedicate
+}
+
+}  // namespace
+}  // namespace rtmp::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "offsetstone/suite.h"
+#include "trace/liveliness.h"
+#include "trace/variable_stats.h"
+
+namespace rtmp::offsetstone {
+namespace {
+
+TEST(Suite, HasTheThirtyOneNamesOfFigureFour) {
+  const auto& profiles = SuiteProfiles();
+  EXPECT_EQ(profiles.size(), 31u);
+  const char* expected[] = {
+      "8051",   "adpcm",   "anagram", "anthr",  "bdd",     "bison",
+      "cavity", "cc65",    "codecs",  "cpp",    "dct",     "dspstone",
+      "eqntott","f2c",     "fft",     "flex",   "fuzzy",   "gif2asc",
+      "gsm",    "gzip",    "h263",    "hmm",    "jpeg",    "klt",
+      "lpsolve","motion",  "mp3",     "mpeg2",  "sparse",  "triangle",
+      "viterbi"};
+  ASSERT_EQ(std::size(expected), profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_EQ(profiles[i].name, expected[i]);
+  }
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& p : SuiteProfiles()) names.insert(p.name);
+  EXPECT_EQ(names.size(), SuiteProfiles().size());
+}
+
+TEST(Suite, FindProfileWorks) {
+  EXPECT_TRUE(FindProfile("gzip").has_value());
+  EXPECT_TRUE(FindProfile("cc65").has_value());
+  EXPECT_FALSE(FindProfile("notabenchmark").has_value());
+}
+
+TEST(Suite, GenerationIsDeterministic) {
+  const auto profile = *FindProfile("dct");
+  const Benchmark a = Generate(profile, 42);
+  const Benchmark b = Generate(profile, 42);
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (std::size_t i = 0; i < a.sequences.size(); ++i) {
+    EXPECT_EQ(a.sequences[i].accesses(), b.sequences[i].accesses());
+  }
+}
+
+TEST(Suite, DifferentSeedsDiffer) {
+  const auto profile = *FindProfile("dct");
+  const Benchmark a = Generate(profile, 1);
+  const Benchmark b = Generate(profile, 2);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.sequences.size(); ++i) {
+    if (a.sequences[i].accesses() != b.sequences[i].accesses()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Suite, SequencesRespectProfileBounds) {
+  for (const auto& profile : SuiteProfiles()) {
+    const Benchmark benchmark = Generate(profile, 0);
+    EXPECT_EQ(benchmark.sequences.size(), profile.num_sequences);
+    for (std::size_t i = 0; i < benchmark.sequences.size(); ++i) {
+      const auto& seq = benchmark.sequences[i];
+      if (i == 0 && profile.pin_first_vars != 0) {
+        // Pinned extreme sequences bypass the profile's draw ranges.
+        EXPECT_LE(seq.num_variables(), profile.pin_first_vars * 5 / 4 + 8)
+            << profile.name;
+        continue;
+      }
+      // Structured generators round variable counts to whole phases /
+      // arrays, so allow a 25% tolerance around the profile's range.
+      EXPECT_GE(seq.num_variables() * 4 / 3 + 1, profile.min_vars)
+          << profile.name;
+      EXPECT_LE(seq.num_variables(), profile.max_vars * 5 / 4 + 8)
+          << profile.name;
+      // Structured generators may round lengths down (loop strides, phase
+      // division); every sequence must still be non-trivial.
+      EXPECT_GE(seq.size(), 1u) << profile.name;
+    }
+  }
+}
+
+TEST(Suite, StaysWithinThePublishedSuiteExtremes) {
+  // Paper §IV-A: variables 1..1336 per sequence, lengths 1..3640.
+  std::size_t max_vars = 0;
+  std::size_t max_len = 0;
+  for (const auto& benchmark : GenerateSuite(0)) {
+    for (const auto& seq : benchmark.sequences) {
+      max_vars = std::max(max_vars, seq.num_variables());
+      max_len = std::max(max_len, seq.size());
+    }
+  }
+  EXPECT_LE(max_vars, 1336u + 340u);  // modest generator rounding headroom
+  EXPECT_GE(max_vars, 300u);          // the suite has big benchmarks
+  EXPECT_LE(max_len, 3640u + 200u);
+  EXPECT_GE(max_len, 1000u);          // and long traces
+}
+
+TEST(Suite, DspBenchmarksExposeDisjointLifespans) {
+  // The DSP profiles lean on phased/loop patterns; their traces must give
+  // the DMA heuristic something to find.
+  for (const char* name : {"dct", "fft", "gsm"}) {
+    const Benchmark benchmark = Generate(*FindProfile(name), 0);
+    std::uint64_t disjoint_pairs = 0;
+    for (const auto& seq : benchmark.sequences) {
+      const auto stats = trace::ComputeVariableStats(seq);
+      disjoint_pairs += trace::CountDisjointPairs(stats);
+    }
+    EXPECT_GT(disjoint_pairs, 0u) << name;
+  }
+}
+
+TEST(Suite, GenerateSuiteCoversAllProfiles) {
+  const auto suite = GenerateSuite(0);
+  EXPECT_EQ(suite.size(), SuiteProfiles().size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, SuiteProfiles()[i].name);
+    EXPECT_FALSE(suite[i].sequences.empty());
+  }
+}
+
+TEST(Suite, LargestBenchmarkIndexFindsHeaviest) {
+  const auto suite = GenerateSuite(0);
+  const std::size_t largest = LargestBenchmarkIndex(suite);
+  std::size_t largest_accesses = 0;
+  for (const auto& seq : suite[largest].sequences) {
+    largest_accesses += seq.size();
+  }
+  for (const auto& benchmark : suite) {
+    std::size_t accesses = 0;
+    for (const auto& seq : benchmark.sequences) accesses += seq.size();
+    EXPECT_LE(accesses, largest_accesses);
+  }
+}
+
+TEST(Suite, WriteFractionIsRoughlyRespected) {
+  const Benchmark benchmark = Generate(*FindProfile("bison"), 0);
+  std::size_t writes = 0;
+  std::size_t total = 0;
+  for (const auto& seq : benchmark.sequences) {
+    writes += seq.CountWrites();
+    total += seq.size();
+  }
+  ASSERT_GT(total, 0u);
+  const double fraction = static_cast<double>(writes) / total;
+  EXPECT_GT(fraction, 0.15);
+  EXPECT_LT(fraction, 0.45);
+}
+
+}  // namespace
+}  // namespace rtmp::offsetstone

@@ -1,0 +1,191 @@
+// End-to-end checks against the paper's Fig. 3 worked example.
+//
+// The figure's access sequence (1-based indices 1..24):
+//   a b a b c a c a d d a i e f e f g e g h g i h i
+// with the per-variable table of Fig. 3(e):
+//   v : Av Fv Lv   ->  a:5/1/11  b:2/2/4  c:2/5/7  d:2/9/10  e:3/13/18
+//                      f:2/14/16 g:3/17/21 h:2/20/23 i:3/12/24
+// The paper computes: AFD layout {a,g,b,d,h | e,i,c,f} costs 39 shifts
+// (24 + 15); the sequence-aware layout {b,c,d,e,h | a,f,g,i} costs 11
+// (4 + 7), a 3.54x improvement; Algorithm 1 selects Vdj = {b,c,d,e,h}
+// with an access-frequency sum of 11.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/inter_afd.h"
+#include "core/inter_dma.h"
+#include "core/placement.h"
+#include "trace/access_sequence.h"
+#include "trace/liveliness.h"
+#include "trace/variable_stats.h"
+
+namespace rtmp {
+namespace {
+
+using core::Placement;
+using trace::AccessSequence;
+
+/// Builds the Fig. 3 sequence with ids in alphabetical order (the paper
+/// sorts frequency ties alphabetically; registering a..i up front gives the
+/// same tie-break through stable sorts on ids).
+AccessSequence PaperSequence() {
+  AccessSequence seq;
+  for (char c = 'a'; c <= 'i'; ++c) seq.AddVariable(std::string(1, c));
+  constexpr std::string_view kAccesses = "ababcacaddaiefefgeghgihi";
+  for (const char c : kAccesses) {
+    seq.Append(*seq.FindVariable(std::string_view(&c, 1)));
+  }
+  return seq;
+}
+
+trace::VariableId Id(const AccessSequence& seq, char name) {
+  return *seq.FindVariable(std::string(1, name));
+}
+
+std::vector<trace::VariableId> Ids(const AccessSequence& seq,
+                                   std::string_view names) {
+  std::vector<trace::VariableId> ids;
+  for (const char c : names) ids.push_back(Id(seq, c));
+  return ids;
+}
+
+TEST(PaperExample, SequenceShapeMatchesFigure) {
+  const AccessSequence seq = PaperSequence();
+  EXPECT_EQ(seq.size(), 24u);
+  EXPECT_EQ(seq.num_variables(), 9u);
+}
+
+TEST(PaperExample, VariableStatsMatchFigure3e) {
+  const AccessSequence seq = PaperSequence();
+  const auto stats = trace::ComputeVariableStats(seq);
+  // Fig. 3(e) uses 1-based indices; ours are 0-based.
+  const struct {
+    char name;
+    std::uint64_t frequency;
+    std::size_t first;
+    std::size_t last;
+  } expected[] = {
+      {'a', 5, 1, 11},  {'b', 2, 2, 4},   {'c', 2, 5, 7},
+      {'d', 2, 9, 10},  {'e', 3, 13, 18}, {'f', 2, 14, 16},
+      {'g', 3, 17, 21}, {'h', 2, 20, 23}, {'i', 3, 12, 24},
+  };
+  for (const auto& row : expected) {
+    const auto& s = stats[Id(seq, row.name)];
+    EXPECT_EQ(s.frequency, row.frequency) << row.name;
+    EXPECT_EQ(s.first, row.first - 1) << row.name;
+    EXPECT_EQ(s.last, row.last - 1) << row.name;
+  }
+}
+
+TEST(PaperExample, LifespanOfBIsTwoAndDisjointFromC) {
+  const AccessSequence seq = PaperSequence();
+  const auto stats = trace::ComputeVariableStats(seq);
+  EXPECT_EQ(stats[Id(seq, 'b')].Lifespan(), 2u);  // 4 - 2 in the paper
+  EXPECT_TRUE(
+      trace::LifespansDisjoint(stats[Id(seq, 'b')], stats[Id(seq, 'c')]));
+  EXPECT_FALSE(
+      trace::LifespansDisjoint(stats[Id(seq, 'a')], stats[Id(seq, 'b')]));
+}
+
+TEST(PaperExample, AfdLayoutCostsThirtyNineShifts) {
+  const AccessSequence seq = PaperSequence();
+  const Placement placement = Placement::FromLists(
+      {Ids(seq, "agbdh"), Ids(seq, "eicf")}, seq.num_variables());
+  const auto per_dbc = core::PerDbcShiftCost(seq, placement);
+  ASSERT_EQ(per_dbc.size(), 2u);
+  EXPECT_EQ(per_dbc[0], 24u);
+  EXPECT_EQ(per_dbc[1], 15u);
+  EXPECT_EQ(core::ShiftCost(seq, placement), 39u);
+}
+
+TEST(PaperExample, SequenceAwareLayoutCostsElevenShifts) {
+  const AccessSequence seq = PaperSequence();
+  const Placement placement = Placement::FromLists(
+      {Ids(seq, "bcdeh"), Ids(seq, "afgi")}, seq.num_variables());
+  const auto per_dbc = core::PerDbcShiftCost(seq, placement);
+  ASSERT_EQ(per_dbc.size(), 2u);
+  EXPECT_EQ(per_dbc[0], 4u);
+  EXPECT_EQ(per_dbc[1], 7u);
+  EXPECT_EQ(core::ShiftCost(seq, placement), 11u);
+}
+
+TEST(PaperExample, ImprovementIsAboutThreePointFiveFold) {
+  // 39 / 11 = 3.5454... The paper quotes 3.54x.
+  EXPECT_NEAR(39.0 / 11.0, 3.54, 0.01);
+}
+
+TEST(PaperExample, AfdDealMatchesFigure3c) {
+  const AccessSequence seq = PaperSequence();
+  const auto stats = trace::ComputeVariableStats(seq);
+  const auto order = core::SortByFrequencyDescending(stats, seq);
+  // a(5), then e,g,i (3, alphabetical), then b,c,d,f,h (2, alphabetical).
+  const auto expected = Ids(seq, "aegibcdfh");
+  EXPECT_EQ(order, expected);
+
+  const Placement afd = core::DistributeAfd(
+      seq, 2, core::kUnboundedCapacity, {core::IntraHeuristic::kNone});
+  EXPECT_EQ(afd.dbc(0), Ids(seq, "agbdh"));
+  EXPECT_EQ(afd.dbc(1), Ids(seq, "eicf"));
+  EXPECT_EQ(core::ShiftCost(seq, afd), 39u);
+}
+
+TEST(PaperExample, AlgorithmOneSelectsBcdeh) {
+  const AccessSequence seq = PaperSequence();
+  const auto stats = trace::ComputeVariableStats(seq);
+  const auto disjoint = core::SelectDisjointVariables(stats);
+  EXPECT_EQ(disjoint, Ids(seq, "bcdeh"));
+  std::uint64_t sum = 0;
+  for (const auto v : disjoint) sum += stats[v].frequency;
+  EXPECT_EQ(sum, 11u);  // "sum of access frequencies equal to 11"
+}
+
+TEST(PaperExample, AlgorithmOneRejectsABecauseNestedSumWins) {
+  // a's frequency (5) does not exceed the frequencies nested inside its
+  // lifespan (b + c + d = 6), so a is not selected (paper §III-B).
+  const AccessSequence seq = PaperSequence();
+  const auto stats = trace::ComputeVariableStats(seq);
+  const auto all = Ids(seq, "abcdefghi");
+  const std::uint64_t nested =
+      trace::SumNestedFrequency(stats, stats[Id(seq, 'a')], all);
+  EXPECT_EQ(nested, 6u);
+  EXPECT_LE(stats[Id(seq, 'a')].frequency, nested);
+}
+
+TEST(PaperExample, DmaPlacementBeatsAfdAndPaperLayout) {
+  const AccessSequence seq = PaperSequence();
+  const auto result = core::DistributeDma(seq, 2, core::kUnboundedCapacity,
+                                          {core::IntraHeuristic::kOfu});
+  EXPECT_EQ(result.disjoint, Ids(seq, "bcdeh"));
+  EXPECT_EQ(result.disjoint_dbc_count, 1u);
+  EXPECT_EQ(result.placement.dbc(0), Ids(seq, "bcdeh"));
+  const std::uint64_t cost = core::ShiftCost(seq, result.placement);
+  // The paper's hand layout costs 11; the algorithm's frequency-ordered
+  // leftover DBC does at least as well.
+  EXPECT_LE(cost, 11u);
+  EXPECT_LT(cost, 39u);
+}
+
+TEST(PaperExample, DisjointDbcCostsAtMostSetSizeMinusOne) {
+  const AccessSequence seq = PaperSequence();
+  const auto result = core::DistributeDma(seq, 2, core::kUnboundedCapacity,
+                                          {core::IntraHeuristic::kOfu});
+  const auto per_dbc = core::PerDbcShiftCost(seq, result.placement);
+  // l disjoint variables in access order: at most l - 1 shifts (§III-B).
+  EXPECT_LE(per_dbc[0], result.disjoint.size() - 1);
+}
+
+TEST(PaperExample, SubsequencesMatchFigure) {
+  const AccessSequence seq = PaperSequence();
+  // AFD split: S0 = accesses to {a,g,b,d,h}, S1 = accesses to {e,i,c,f}.
+  const auto s0 = seq.Restrict(Ids(seq, "agbdh"));
+  const auto s1 = seq.Restrict(Ids(seq, "eicf"));
+  std::string s0_names;
+  for (const auto& a : s0) s0_names += seq.name_of(a.variable);
+  EXPECT_EQ(s0_names, "ababaaddagghgh");  // Fig. 3(c) S0
+  std::string s1_names;
+  for (const auto& a : s1) s1_names += seq.name_of(a.variable);
+  EXPECT_EQ(s1_names, "cciefefeii");  // Fig. 3(c) S1
+}
+
+}  // namespace
+}  // namespace rtmp

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/random_walk.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::core {
+namespace {
+
+using trace::AccessSequence;
+
+AccessSequence Trace() {
+  return AccessSequence::FromCompactString("abcdabcd" "eeff" "abab");
+}
+
+RwOptions SmallRw(std::size_t iterations = 500, std::uint64_t seed = 3) {
+  RwOptions options;
+  options.iterations = iterations;
+  options.seed = seed;
+  return options;
+}
+
+TEST(RandomWalk, BestMatchesReportedCost) {
+  const auto seq = Trace();
+  const RwResult result = RunRandomWalk(seq, 2, kUnboundedCapacity, SmallRw());
+  EXPECT_EQ(ShiftCost(seq, result.best), result.best_cost);
+  EXPECT_TRUE(result.best.IsComplete());
+  result.best.CheckInvariants();
+}
+
+TEST(RandomWalk, MoreIterationsNeverHurt) {
+  const auto seq = Trace();
+  const RwResult small = RunRandomWalk(seq, 2, kUnboundedCapacity,
+                                       SmallRw(50, 9));
+  const RwResult big = RunRandomWalk(seq, 2, kUnboundedCapacity,
+                                     SmallRw(2000, 9));
+  // The long run replays the short run's prefix (same seed), so its best
+  // can only be equal or better.
+  EXPECT_LE(big.best_cost, small.best_cost);
+}
+
+TEST(RandomWalk, HistoryIsMonotone) {
+  const auto seq = Trace();
+  const RwResult result =
+      RunRandomWalk(seq, 2, kUnboundedCapacity, SmallRw(1000));
+  ASSERT_FALSE(result.history.empty());
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_LE(result.history[i], result.history[i - 1]);
+  }
+}
+
+TEST(RandomWalk, DeterministicForFixedSeed) {
+  const auto seq = Trace();
+  const RwResult a = RunRandomWalk(seq, 3, kUnboundedCapacity, SmallRw(300, 5));
+  const RwResult b = RunRandomWalk(seq, 3, kUnboundedCapacity, SmallRw(300, 5));
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(RandomWalk, RespectsCapacity) {
+  const auto seq = Trace();  // 6 variables
+  const RwResult result = RunRandomWalk(seq, 3, 2, SmallRw(200));
+  result.best.CheckInvariants();
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    EXPECT_LE(result.best.dbc(d).size(), 2u);
+  }
+}
+
+TEST(RandomWalk, RejectsDegenerateInput) {
+  const auto seq = Trace();
+  EXPECT_THROW(RunRandomWalk(seq, 2, kUnboundedCapacity, SmallRw(0)),
+               std::invalid_argument);
+  EXPECT_THROW(RunRandomWalk(seq, 2, 2, SmallRw(10)), std::invalid_argument);
+}
+
+TEST(RandomWalk, SingleVariableIsFree) {
+  const auto seq = AccessSequence::FromCompactString("aaaa");
+  const RwResult result =
+      RunRandomWalk(seq, 2, kUnboundedCapacity, SmallRw(10));
+  EXPECT_EQ(result.best_cost, 0u);
+}
+
+}  // namespace
+}  // namespace rtmp::core

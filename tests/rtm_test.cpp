@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "rtm/address_map.h"
+#include "rtm/config.h"
+#include "rtm/dbc_state.h"
+#include "rtm/device.h"
+#include "rtm/energy_model.h"
+
+namespace rtmp::rtm {
+namespace {
+
+// -------------------------------------------------------------- config ----
+
+TEST(RtmConfig, PaperConfigsAreConsistent) {
+  for (const unsigned dbcs : {2u, 4u, 8u, 16u}) {
+    const RtmConfig config = RtmConfig::Paper(dbcs);
+    EXPECT_EQ(config.total_dbcs(), dbcs);
+    EXPECT_EQ(config.word_capacity(), 1024u);          // iso-capacity
+    EXPECT_EQ(config.byte_capacity(), 4096u);          // 4 KiB
+    EXPECT_EQ(config.tracks_per_dbc, 32u);
+    EXPECT_NO_THROW(config.Validate());
+  }
+}
+
+TEST(RtmConfig, SinglePortDefaultsToOffsetZero) {
+  const RtmConfig config = RtmConfig::Paper(4);
+  const auto offsets = config.EffectivePortOffsets();
+  ASSERT_EQ(offsets.size(), 1u);
+  EXPECT_EQ(offsets[0], 0u);
+}
+
+TEST(RtmConfig, MultiPortOffsetsAreEvenlySpread) {
+  RtmConfig config = RtmConfig::Paper(4);
+  config.ports_per_track = 2;
+  const auto offsets = config.EffectivePortOffsets();
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_EQ(offsets[0], 64u);   // 256/4
+  EXPECT_EQ(offsets[1], 192u);  // 3*256/4
+}
+
+TEST(RtmConfig, ValidateRejectsBrokenConfigs) {
+  RtmConfig config = RtmConfig::Paper(4);
+  config.domains_per_dbc = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+
+  config = RtmConfig::Paper(4);
+  config.port_offsets = {300};  // beyond 256 domains
+  config.ports_per_track = 1;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+
+  config = RtmConfig::Paper(4);
+  config.ports_per_track = 2;
+  config.port_offsets = {5, 5};
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+
+  config = RtmConfig::Paper(4);
+  config.ports_per_track = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+}
+
+TEST(RtmConfig, OverheadDefaultsToDomainCount) {
+  const RtmConfig config = RtmConfig::Paper(8);
+  EXPECT_EQ(config.EffectiveOverhead(), config.domains_per_dbc);
+}
+
+// ----------------------------------------------------------- DbcState ----
+
+TEST(DbcState, FirstAccessFreeConvention) {
+  DbcState dbc(16, {0}, /*start_at_zero=*/false);
+  EXPECT_FALSE(dbc.alignment().has_value());
+  EXPECT_EQ(dbc.Access(7), 0u);  // free
+  EXPECT_EQ(dbc.Access(3), 4u);
+  EXPECT_EQ(dbc.Access(3), 0u);
+  EXPECT_EQ(dbc.total_shifts(), 4u);
+}
+
+TEST(DbcState, ZeroAlignedConvention) {
+  DbcState dbc(16, {0}, /*start_at_zero=*/true);
+  ASSERT_TRUE(dbc.alignment().has_value());
+  EXPECT_EQ(dbc.Access(7), 7u);  // pays the distance from domain 0
+  EXPECT_EQ(dbc.Access(2), 5u);
+}
+
+TEST(DbcState, SinglePortDistanceIsAbsoluteDifference) {
+  DbcState dbc(100, {0}, false);
+  (void)dbc.Access(10);
+  EXPECT_EQ(dbc.Access(25), 15u);
+  EXPECT_EQ(dbc.Access(5), 20u);
+}
+
+TEST(DbcState, MultiPortPicksNearestPort) {
+  // Ports at 0 and 8 on a 16-domain track.
+  DbcState dbc(16, {0, 8}, true);
+  // Domain 9 via port at 8: alignment 1, one shift (vs 9 via port 0).
+  EXPECT_EQ(dbc.Access(9), 1u);
+  // Domain 1 from alignment 1: port 0 -> target 1 - 0 = 1, zero shifts.
+  EXPECT_EQ(dbc.Access(1), 0u);
+}
+
+TEST(DbcState, MultiPortTieBreaksTowardLowerPortIndex) {
+  DbcState dbc(16, {0, 8}, true);
+  // Domain 4: port0 target 4, port1 target -4; both distance 4 from 0.
+  const auto plan = dbc.Plan(4);
+  EXPECT_EQ(plan.shifts, 4u);
+  EXPECT_EQ(plan.port_index, 0u);
+}
+
+TEST(DbcState, TracksMaxExcursion) {
+  DbcState dbc(32, {0}, true);
+  (void)dbc.Access(20);
+  (void)dbc.Access(3);
+  EXPECT_EQ(dbc.max_excursion(), 20u);
+}
+
+TEST(DbcState, ResetRestoresInitialConvention) {
+  DbcState dbc(16, {0}, false);
+  (void)dbc.Access(5);
+  (void)dbc.Access(9);
+  dbc.Reset();
+  EXPECT_EQ(dbc.total_shifts(), 0u);
+  EXPECT_EQ(dbc.Access(9), 0u);  // free again
+}
+
+TEST(DbcState, RejectsBadConstructionAndAccess) {
+  EXPECT_THROW(DbcState(0, {0}, false), std::invalid_argument);
+  EXPECT_THROW(DbcState(8, {}, false), std::invalid_argument);
+  EXPECT_THROW(DbcState(8, {9}, false), std::invalid_argument);
+  DbcState dbc(8, {0}, false);
+  EXPECT_THROW((void)dbc.Plan(8), std::out_of_range);
+}
+
+// --------------------------------------------------------- energy ----
+
+TEST(EnergyModel, LeakageUnitsAreMilliwattTimesNanosecond) {
+  destiny::DeviceParams params;
+  params.leakage_mw = 2.0;
+  ActivityCounts activity;
+  activity.runtime_ns = 100.0;
+  const EnergyBreakdown e = ComputeEnergy(params, activity);
+  EXPECT_DOUBLE_EQ(e.leakage_pj, 200.0);  // 2 mW * 100 ns = 200 pJ
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal) {
+  destiny::DeviceParams params = destiny::PaperTableOne(4);
+  ActivityCounts activity{100, 50, 400, 1000.0};
+  const EnergyBreakdown e = ComputeEnergy(params, activity);
+  EXPECT_DOUBLE_EQ(e.total_pj(), e.leakage_pj + e.read_write_pj + e.shift_pj);
+  EXPECT_DOUBLE_EQ(e.read_write_pj, 100 * 2.39 + 50 * 3.65);
+  EXPECT_DOUBLE_EQ(e.shift_pj, 400 * 2.03);
+}
+
+TEST(EnergyModel, RuntimeAddsPerOperationLatencies) {
+  destiny::DeviceParams params = destiny::PaperTableOne(2);
+  const double runtime = ComputeRuntimeNs(params, 10, 5, 20);
+  EXPECT_DOUBLE_EQ(runtime, 10 * 0.81 + 5 * 1.08 + 20 * 0.99);
+}
+
+// --------------------------------------------------------- AddressMap ----
+
+TEST(AddressMap, BlockPolicyFillsDbcsSequentially) {
+  const RtmConfig config = RtmConfig::Paper(4);  // 4 DBCs x 256 domains
+  const AddressMap map(config, InterleavePolicy::kBlock);
+  const WordLocation w0 = map.Decompose(0);
+  EXPECT_EQ(w0.dbc, 0u);
+  EXPECT_EQ(w0.domain, 0u);
+  const WordLocation w300 = map.Decompose(300);
+  EXPECT_EQ(w300.dbc, 1u);
+  EXPECT_EQ(w300.domain, 44u);
+}
+
+TEST(AddressMap, InterleavePolicyRoundRobinsDbcs) {
+  const RtmConfig config = RtmConfig::Paper(4);
+  const AddressMap map(config, InterleavePolicy::kInterleave);
+  EXPECT_EQ(map.Decompose(0).dbc, 0u);
+  EXPECT_EQ(map.Decompose(1).dbc, 1u);
+  EXPECT_EQ(map.Decompose(4).dbc, 0u);
+  EXPECT_EQ(map.Decompose(4).domain, 1u);
+}
+
+TEST(AddressMap, ComposeIsInverseOfDecompose) {
+  RtmConfig config = RtmConfig::Paper(8);
+  config.banks = 2;
+  config.subarrays_per_bank = 2;
+  for (const auto policy :
+       {InterleavePolicy::kBlock, InterleavePolicy::kInterleave}) {
+    const AddressMap map(config, policy);
+    for (std::uint64_t addr = 0; addr < map.word_capacity(); addr += 97) {
+      EXPECT_EQ(map.Compose(map.Decompose(addr)), addr);
+    }
+  }
+}
+
+TEST(AddressMap, RejectsOutOfRangeAddresses) {
+  const AddressMap map(RtmConfig::Paper(2), InterleavePolicy::kBlock);
+  EXPECT_THROW((void)map.Decompose(1024), std::out_of_range);
+}
+
+// ------------------------------------------------------------ device ----
+
+TEST(RtmDevice, AccumulatesStatsAndLatency) {
+  RtmConfig config = RtmConfig::Paper(4);
+  RtmDevice device(config);
+  const AccessResult first = device.Access(0, 10, trace::AccessType::kRead);
+  EXPECT_EQ(first.shifts, 0u);  // first access free in paper convention
+  EXPECT_DOUBLE_EQ(first.latency_ns, 0.84);
+  const AccessResult second = device.Access(0, 13, trace::AccessType::kWrite);
+  EXPECT_EQ(second.shifts, 3u);
+  EXPECT_DOUBLE_EQ(second.latency_ns, 3 * 0.92 + 1.14);
+  EXPECT_EQ(device.stats().reads, 1u);
+  EXPECT_EQ(device.stats().writes, 1u);
+  EXPECT_EQ(device.stats().shifts, 3u);
+  EXPECT_EQ(device.stats().per_dbc_shifts[0], 3u);
+}
+
+TEST(RtmDevice, DbcsAreIndependent) {
+  RtmDevice device(RtmConfig::Paper(4));
+  (void)device.Access(0, 100, trace::AccessType::kRead);
+  (void)device.Access(1, 5, trace::AccessType::kRead);
+  // Returning to DBC 0's current position costs nothing.
+  EXPECT_EQ(device.Access(0, 100, trace::AccessType::kRead).shifts, 0u);
+}
+
+TEST(RtmDevice, EnergyUsesAccumulatedRuntime) {
+  RtmDevice device(RtmConfig::Paper(2));
+  (void)device.Access(0, 0, trace::AccessType::kRead);
+  (void)device.Access(0, 10, trace::AccessType::kRead);
+  const EnergyBreakdown energy = device.Energy();
+  const RtmStats& stats = device.stats();
+  EXPECT_DOUBLE_EQ(energy.leakage_pj, 3.39 * stats.runtime_ns);
+  EXPECT_DOUBLE_EQ(energy.read_write_pj, 2 * 2.26);
+  EXPECT_DOUBLE_EQ(energy.shift_pj, 10 * 2.18);
+}
+
+TEST(RtmDevice, ResetClearsEverything) {
+  RtmDevice device(RtmConfig::Paper(2));
+  (void)device.Access(0, 50, trace::AccessType::kWrite);
+  device.Reset();
+  EXPECT_EQ(device.stats().accesses(), 0u);
+  EXPECT_EQ(device.stats().shifts, 0u);
+  EXPECT_DOUBLE_EQ(device.stats().runtime_ns, 0.0);
+  // First access free again after reset.
+  EXPECT_EQ(device.Access(0, 50, trace::AccessType::kRead).shifts, 0u);
+}
+
+TEST(RtmDevice, RejectsOutOfRangeCoordinates) {
+  RtmDevice device(RtmConfig::Paper(2));
+  EXPECT_THROW(device.Access(2, 0, trace::AccessType::kRead),
+               std::out_of_range);
+  EXPECT_THROW(device.Access(0, 512, trace::AccessType::kRead),
+               std::out_of_range);
+}
+
+TEST(RtmDevice, ZeroAlignmentConventionPaysFirstAccess) {
+  RtmConfig config = RtmConfig::Paper(2);
+  config.initial_alignment = InitialAlignment::kZero;
+  RtmDevice device(config);
+  EXPECT_EQ(device.Access(0, 25, trace::AccessType::kRead).shifts, 25u);
+}
+
+}  // namespace
+}  // namespace rtmp::rtm

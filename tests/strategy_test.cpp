@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/strategy.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::core {
+namespace {
+
+using trace::AccessSequence;
+
+TEST(Strategy, ParseAndToStringRoundTrip) {
+  const char* names[] = {"afd-ofu",  "afd-chen", "afd-sr",  "afd-none",
+                         "afd-ge",   "dma-ofu",  "dma-chen", "dma-sr",
+                         "dma-none", "dma-ge",   "dma2-sr",  "ga", "rw"};
+  for (const char* name : names) {
+    const auto spec = ParseStrategy(name);
+    ASSERT_TRUE(spec.has_value()) << name;
+    EXPECT_EQ(ToString(*spec), name);
+  }
+}
+
+TEST(Strategy, ParseIsCaseInsensitive) {
+  const auto spec = ParseStrategy("DMA-SR");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->inter, InterPolicy::kDma);
+  EXPECT_EQ(spec->intra, IntraHeuristic::kShiftsReduce);
+}
+
+TEST(Strategy, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(ParseStrategy("").has_value());
+  EXPECT_FALSE(ParseStrategy("dma").has_value());
+  EXPECT_FALSE(ParseStrategy("dma-").has_value());
+  EXPECT_FALSE(ParseStrategy("xyz-ofu").has_value());
+  EXPECT_FALSE(ParseStrategy("dma-xyz").has_value());
+}
+
+TEST(Strategy, PaperStrategiesAreTheSixOfSectionIvA) {
+  const auto specs = PaperStrategies();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(ToString(specs[0]), "afd-ofu");
+  EXPECT_EQ(ToString(specs[1]), "dma-ofu");
+  EXPECT_EQ(ToString(specs[2]), "dma-chen");
+  EXPECT_EQ(ToString(specs[3]), "dma-sr");
+  EXPECT_EQ(ToString(specs[4]), "ga");
+  EXPECT_EQ(ToString(specs[5]), "rw");
+}
+
+TEST(Strategy, RunStrategyProducesCompletePlacements) {
+  const auto seq = AccessSequence::FromCompactString(
+      "g" "ababab" "g" "cdcdcd" "g" "efef" "g");
+  StrategyOptions options;
+  ScaleSearchEffort(options, 0.02);
+  for (const auto& spec : PaperStrategies()) {
+    const Placement p = RunStrategy(spec, seq, 4, kUnboundedCapacity, options);
+    EXPECT_TRUE(p.IsComplete()) << ToString(spec);
+    p.CheckInvariants();
+  }
+}
+
+TEST(Strategy, ScaleSearchEffortScalesAndFloors) {
+  StrategyOptions options;
+  ScaleSearchEffort(options, 0.1);
+  EXPECT_EQ(options.ga.generations, 20u);
+  EXPECT_EQ(options.ga.mu, 10u);
+  EXPECT_EQ(options.rw.iterations, 6000u);
+  StrategyOptions tiny;
+  ScaleSearchEffort(tiny, 1e-6);
+  EXPECT_GE(tiny.ga.mu, 4u);
+  EXPECT_GE(tiny.ga.generations, 1u);
+  EXPECT_GE(tiny.rw.iterations, 1u);
+  StrategyOptions bad;
+  EXPECT_THROW(ScaleSearchEffort(bad, 0.0), std::invalid_argument);
+}
+
+TEST(Strategy, GaRespectsInjectedCostOptions) {
+  // With kZero alignment the absolute costs grow; the GA must optimize
+  // under the same model it reports.
+  const auto seq = AccessSequence::FromCompactString("abcdabcdabcd");
+  StrategyOptions options;
+  ScaleSearchEffort(options, 0.02);
+  options.cost.initial_alignment = rtm::InitialAlignment::kZero;
+  const Placement p = RunStrategy({InterPolicy::kGa, IntraHeuristic::kNone},
+                                  seq, 2, kUnboundedCapacity, options);
+  EXPECT_TRUE(p.IsComplete());
+}
+
+TEST(Strategy, DmaMultiIsAvailableViaRegistry) {
+  const auto seq = AccessSequence::FromCompactString("aabb" "xyxy" "ccdd");
+  const auto spec = ParseStrategy("dma2-ofu");
+  ASSERT_TRUE(spec.has_value());
+  const Placement p = RunStrategy(*spec, seq, 4, kUnboundedCapacity, {});
+  EXPECT_TRUE(p.IsComplete());
+  p.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace rtmp::core

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace rtmp::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolRespectsExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolRateIsPlausible) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.03);
+}
+
+TEST(Rng, NextWeightedHonorsZeroWeights) {
+  Rng rng(17);
+  const double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(Rng, NextWeightedRoughProportions) {
+  Rng rng(19);
+  const double weights[] = {1.0, 3.0};
+  int second = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    second += rng.NextWeighted(weights) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(second) / kDraws, 0.75, 0.03);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(23);
+  constexpr std::size_t kN = 50;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextZipf(kN, 1.0)];
+  EXPECT_GT(counts[0], counts[kN - 1] * 4);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniformish) {
+  Rng rng(29);
+  constexpr std::size_t kN = 10;
+  std::vector<int> counts(kN, 0);
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextZipf(kN, 0.0)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.03);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.Fork();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Rng, HashStringIsStableAndDiscriminates) {
+  EXPECT_EQ(HashString("gzip"), HashString("gzip"));
+  EXPECT_NE(HashString("gzip"), HashString("gsm"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanAndGeoMean) {
+  const double values[] = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 7.0 / 3.0);
+  EXPECT_NEAR(GeoMean(values), 2.0, 1e-12);
+}
+
+TEST(Stats, EmptyInputsGiveZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(Stats, GeoMeanClampsNonPositive) {
+  const double values[] = {0.0, 1.0};
+  EXPECT_GT(GeoMean(values, 1e-3), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const double odd[] = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(odd), 3.0);
+  const double even[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Median(even), 2.5);
+}
+
+TEST(Stats, StdDevOfConstantIsZero) {
+  const double values[] = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(StdDev(values), 0.0);
+}
+
+TEST(Stats, SummarizeIsConsistent) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, FormatFixedDigits) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- csv ----
+
+TEST(Csv, EscapesSeparatorsQuotesAndNewlines) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteHeader({"name", "value"});
+  writer.WriteRow({"x", "1"});
+  writer.WriteRow({"with,comma", "2"});
+  EXPECT_EQ(out.str(), "name,value\nx,1\n\"with,comma\",2\n");
+  EXPECT_EQ(writer.rows_written(), 3u);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table;
+  table.SetHeader({"name", "cost"});
+  table.SetAlignments({Align::kLeft, Align::kRight});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "1234"});
+  const std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("1234"), std::string::npos);
+  // Right-aligned numeric column: the "1" of the first row is padded.
+  EXPECT_NE(rendered.find("   1\n"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NO_THROW({ const auto s = table.Render(); });
+}
+
+TEST(Table, EmptyTableRendersEmpty) {
+  TextTable table;
+  EXPECT_TRUE(table.Render().empty());
+}
+
+// ------------------------------------------------------------ strings ----
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(Strings, SplitWhitespace) {
+  const auto tokens = SplitWhitespace("  a  b\tc\nd ");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"a", "b", "c", "d"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = Split("a,,b", ',');
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, JoinRoundTrips) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(Strings, ToLowerAndStartsWith) {
+  EXPECT_EQ(ToLower("DMA-SR"), "dma-sr");
+  EXPECT_TRUE(StartsWith("dma-sr", "dma"));
+  EXPECT_FALSE(StartsWith("dma", "dma-sr"));
+}
+
+}  // namespace
+}  // namespace rtmp::util
