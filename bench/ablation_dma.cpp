@@ -1,4 +1,4 @@
-// Ablations for the design choices DESIGN.md calls out, plus the paper's
+// Ablations for the implementation's own design choices, plus the paper's
 // SVI future-work extension:
 //   A. multi-set DMA (dma2): one disjoint set per DBC vs the single-set
 //      heuristic of Algorithm 1.

@@ -31,7 +31,7 @@ int main() {
       options.strategies.push_back({inter, intra});
     }
   }
-  options.search_effort = benchtool::Effort();
+  benchtool::ConfigureMatrix(options);  // effort, threads, progress
   const auto suite = offsetstone::GenerateSuite();
   const sim::ResultTable table(RunMatrix(suite, options));
   const auto names = benchtool::SuiteNames();

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "common.h"
-#include "core/strategy.h"
+#include "core/strategy_registry.h"
 #include "rtm/controller.h"
 #include "util/stats.h"
 
@@ -46,7 +46,7 @@ int main() {
                      util::Align::kRight, util::Align::kRight});
 
   for (const char* strategy_name : {"afd-ofu", "dma-sr"}) {
-    const auto spec = *core::ParseStrategy(strategy_name);
+    const auto strategy = core::StrategyRegistry::Global().Find(strategy_name);
     for (const unsigned dbcs : {4u, 16u}) {
       double serial_total = 0.0;
       double proactive_total = 0.0;
@@ -62,8 +62,11 @@ int main() {
               config.domains_per_dbc = static_cast<unsigned>(
                   (seq.num_variables() + dbcs - 1) / dbcs);
             }
-            const auto placement = core::RunStrategy(
-                spec, seq, config.total_dbcs(), config.domains_per_dbc, {});
+            const auto placement =
+                strategy
+                    ->Run({&seq, config.total_dbcs(), config.domains_per_dbc,
+                           {}, /*compute_cost=*/false})
+                    .placement;
             const auto serial =
                 Replay(seq, placement, config, rtm::ControllerConfig{});
             rtm::ControllerConfig pc;

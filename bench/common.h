@@ -6,6 +6,8 @@
 // "paper vs measured" presentation.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,6 +29,26 @@ inline void PrintEffortNote(double effort) {
   std::printf("search effort: %.3g of the paper's GA/RW parameters "
               "(set RTMPLACE_EFFORT=1 for paper scale)\n\n",
               effort);
+}
+
+/// Single-line progress meter on stderr (stdout stays clean for tables).
+/// Returns an empty callback when stderr is not a terminal, so redirected
+/// logs and CI output are not spammed with carriage-return frames.
+inline sim::ProgressCallback StderrProgress() {
+  if (::isatty(::fileno(stderr)) == 0) return {};
+  return [](const sim::RunResult&, std::size_t completed, std::size_t total) {
+    std::fprintf(stderr, "\r[%zu/%zu cells]%s", completed, total,
+                 completed == total ? "\n" : "");
+    std::fflush(stderr);
+  };
+}
+
+/// Shared matrix setup for all benches: effort + progress + thread count
+/// (hardware concurrency, overridable via RTMPLACE_THREADS).
+inline void ConfigureMatrix(sim::ExperimentOptions& options) {
+  options.search_effort = Effort();
+  options.num_threads = sim::ThreadCountFromEnv(0);
+  options.progress = StderrProgress();
 }
 
 /// Names of all suite benchmarks, in Fig. 4 order.

@@ -23,7 +23,7 @@ int main() {
   benchtool::PrintEffortNote(effort);
 
   sim::ExperimentOptions options;
-  options.search_effort = effort;
+  benchtool::ConfigureMatrix(options);  // effort, threads, progress
   const auto suite = offsetstone::GenerateSuite();
   const auto results = RunMatrix(suite, options);
   const sim::ResultTable table(results);

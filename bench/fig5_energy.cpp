@@ -24,7 +24,7 @@ int main() {
       {core::InterPolicy::kDma, core::IntraHeuristic::kOfu},
       {core::InterPolicy::kDma, core::IntraHeuristic::kShiftsReduce},
   };
-  options.search_effort = benchtool::Effort();
+  benchtool::ConfigureMatrix(options);  // effort, threads, progress
   const auto suite = offsetstone::GenerateSuite();
   const sim::ResultTable table(RunMatrix(suite, options));
   const auto names = benchtool::SuiteNames();

@@ -21,7 +21,7 @@ int main() {
   sim::ExperimentOptions options;
   options.strategies = {
       {core::InterPolicy::kDma, core::IntraHeuristic::kShiftsReduce}};
-  options.search_effort = benchtool::Effort();
+  benchtool::ConfigureMatrix(options);  // effort, threads, progress
   const auto suite = offsetstone::GenerateSuite();
   const sim::ResultTable table(RunMatrix(suite, options));
   const auto names = benchtool::SuiteNames();

@@ -13,6 +13,7 @@
 #include "core/genetic.h"
 #include "core/random_walk.h"
 #include "core/strategy.h"
+#include "core/strategy_registry.h"
 #include "util/stats.h"
 
 int main() {
@@ -44,21 +45,20 @@ int main() {
           ? static_cast<std::uint32_t>((seq.num_variables() + dbcs - 1) / dbcs)
           : config.domains_per_dbc;
 
-  // Heuristic costs.
+  // Heuristic costs, via the registry (PlacementResult carries the cost).
   core::StrategyOptions heuristic_options;
   std::uint64_t best_heuristic = ~0ULL;
   std::string best_name;
   util::TextTable table;
   table.SetHeader({"solution", "shifts"});
   table.SetAlignments({util::Align::kLeft, util::Align::kRight});
+  auto& registry = core::StrategyRegistry::Global();
   for (const char* name : {"afd-ofu", "dma-ofu", "dma-chen", "dma-sr"}) {
-    const auto placement =
-        core::RunStrategy(*core::ParseStrategy(name), seq, dbcs, capacity,
-                          heuristic_options);
-    const auto cost = core::ShiftCost(seq, placement);
-    table.AddRow({name, std::to_string(cost)});
-    if (cost < best_heuristic) {
-      best_heuristic = cost;
+    const core::PlacementResult result =
+        registry.Find(name)->Run({&seq, dbcs, capacity, heuristic_options});
+    table.AddRow({name, std::to_string(result.cost)});
+    if (result.cost < best_heuristic) {
+      best_heuristic = result.cost;
       best_name = name;
     }
   }

@@ -23,7 +23,7 @@ int main() {
       {core::InterPolicy::kAfd, core::IntraHeuristic::kOfu},
       {core::InterPolicy::kDma, core::IntraHeuristic::kShiftsReduce},
   };
-  options.search_effort = benchtool::Effort();
+  benchtool::ConfigureMatrix(options);  // effort, threads, progress
   const auto suite = offsetstone::GenerateSuite();
   const sim::ResultTable table(RunMatrix(suite, options));
   const auto names = benchtool::SuiteNames();
@@ -81,7 +81,7 @@ int main() {
   std::fputs(out.Render().c_str(), stdout);
 
   std::printf("\nNote: absolute factors depend on the synthesized traces "
-              "(DESIGN.md S3);\nthe reproduction target is the shape — "
+              "(offsetstone/suite.h);\nthe reproduction target is the shape — "
               "multi-x shift reduction, double-digit\npercentage latency and "
               "energy gains, largest at low DBC counts.\n");
   return 0;

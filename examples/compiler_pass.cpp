@@ -16,7 +16,7 @@
 
 #include "core/cost_model.h"
 #include "core/inter_dma.h"
-#include "core/strategy.h"
+#include "core/strategy_registry.h"
 #include "util/stats.h"
 #include "rtm/config.h"
 #include "sim/simulator.h"
@@ -101,9 +101,12 @@ int main(int argc, char** argv) {
     const auto& seq = file.sequences[s];
     if (seq.num_variables() == 0) continue;
     for (const char* name : {"afd-ofu", "dma-ofu", "dma-chen", "dma-sr"}) {
-      const auto spec = *core::ParseStrategy(name);
-      const core::Placement placement = core::RunStrategy(
-          spec, seq, config.total_dbcs(), config.domains_per_dbc, options);
+      const core::Placement placement =
+          core::StrategyRegistry::Global()
+              .Find(name)
+              ->Run({&seq, config.total_dbcs(), config.domains_per_dbc,
+                     options, /*compute_cost=*/false})
+              .placement;
       const sim::SimulationResult r = sim::Simulate(seq, placement, config);
       csv.WriteRow({s < file.sequence_names.size() && !file.sequence_names[s].empty()
                         ? file.sequence_names[s]

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
-#include "core/strategy.h"
+#include "core/strategy_registry.h"
 #include "rtm/config.h"
 #include "sim/simulator.h"
 #include "trace/access_sequence.h"
@@ -117,9 +117,12 @@ void Compare(const char* title, const AccessSequence& seq) {
     const rtm::RtmConfig config = rtm::RtmConfig::Paper(dbcs);
     double baseline_shifts = 0.0;
     for (const char* name : {"afd-ofu", "dma-ofu", "dma-sr", "ga"}) {
-      const auto spec = *core::ParseStrategy(name);
-      const core::Placement placement = core::RunStrategy(
-          spec, seq, config.total_dbcs(), config.domains_per_dbc, options);
+      const core::Placement placement =
+          core::StrategyRegistry::Global()
+              .Find(name)
+              ->Run({&seq, config.total_dbcs(), config.domains_per_dbc,
+                     options, /*compute_cost=*/false})
+              .placement;
       const sim::SimulationResult r = sim::Simulate(seq, placement, config);
       const auto shifts = static_cast<double>(r.stats.shifts);
       if (std::string_view(name) == "afd-ofu") baseline_shifts = shifts;

@@ -15,7 +15,7 @@
 
 #include "core/cost_model.h"
 #include "core/inter_dma.h"
-#include "core/strategy.h"
+#include "core/strategy_registry.h"
 #include "offsetstone/suite.h"
 #include "rtm/config.h"
 #include "sim/simulator.h"
@@ -38,13 +38,33 @@ int Usage() {
       "format\n"
       "  placement_explorer place <trace> <strategy> <dbcs>\n"
       "  placement_explorer compare <trace> <dbcs>\n"
-      "\nstrategies: afd|dma|dma2 x ofu|chen|sr|ge|none (e.g. dma-sr), ga, "
-      "rw\nsuite benchmarks:");
+      "  placement_explorer strategies\n"
+      "\nstrategies (from the registry):");
+  for (const auto& name : core::RegisteredStrategyNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nsuite benchmarks:");
   for (const auto& profile : offsetstone::SuiteProfiles()) {
     std::printf(" %s", profile.name.c_str());
   }
   std::printf("\n");
   return 2;
+}
+
+/// `strategies` subcommand: one line per registered strategy, straight
+/// from the registry metadata.
+int CmdStrategies() {
+  auto& registry = core::StrategyRegistry::Global();
+  util::TextTable table;
+  table.SetHeader({"name", "search-based", "description"});
+  table.SetAlignments(
+      {util::Align::kLeft, util::Align::kLeft, util::Align::kLeft});
+  for (const auto& name : registry.Names()) {
+    const auto info = registry.Describe(name);
+    table.AddRow({name, info->search_based ? "yes" : "no", info->summary});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  return 0;
 }
 
 trace::TraceFile LoadTrace(const std::string& path) {
@@ -111,9 +131,12 @@ int CmdExport(const std::string& name, const std::string& path) {
 
 int CmdPlace(const std::string& path, const std::string& strategy_name,
              unsigned dbcs) {
-  const auto spec = core::ParseStrategy(strategy_name);
-  if (!spec) {
-    std::fprintf(stderr, "unknown strategy '%s'\n", strategy_name.c_str());
+  const auto strategy = core::StrategyRegistry::Global().Find(strategy_name);
+  if (!strategy) {
+    std::fprintf(stderr,
+                 "unknown strategy '%s' (try `placement_explorer "
+                 "strategies`)\n",
+                 strategy_name.c_str());
     return 1;
   }
   const auto file = LoadTrace(path);
@@ -128,16 +151,19 @@ int CmdPlace(const std::string& path, const std::string& strategy_name,
       cfg.domains_per_dbc =
           static_cast<unsigned>((seq.num_variables() + dbcs - 1) / dbcs);
     }
-    const auto placement = core::RunStrategy(*spec, seq, cfg.total_dbcs(),
-                                             cfg.domains_per_dbc, options);
-    const auto result = sim::Simulate(seq, placement, cfg);
-    std::printf("sequence %zu: %llu shifts, %.1f ns, %.1f pJ\n", s,
-                static_cast<unsigned long long>(result.stats.shifts),
-                result.stats.runtime_ns, result.energy.total_pj());
-    for (std::uint32_t d = 0; d < placement.num_dbcs(); ++d) {
-      if (placement.dbc(d).empty()) continue;
+    const auto placed = core::RunTimed(
+        *strategy, {&seq, cfg.total_dbcs(), cfg.domains_per_dbc, options,
+                    /*compute_cost=*/false});
+    const auto result = sim::Simulate(seq, placed.placement, cfg);
+    std::printf("sequence %zu: %llu shifts, %.1f ns, %.1f pJ (placed in "
+                "%.2f ms)\n",
+                s, static_cast<unsigned long long>(result.stats.shifts),
+                result.stats.runtime_ns, result.energy.total_pj(),
+                placed.wall_ms);
+    for (std::uint32_t d = 0; d < placed.placement.num_dbcs(); ++d) {
+      if (placed.placement.dbc(d).empty()) continue;
       std::printf("  DBC%u:", d);
-      for (const auto v : placement.dbc(d)) {
+      for (const auto v : placed.placement.dbc(d)) {
         std::printf(" %s", seq.name_of(v).c_str());
       }
       std::printf("\n");
@@ -156,7 +182,7 @@ int CmdCompare(const std::string& path, unsigned dbcs) {
                        util::Align::kRight, util::Align::kRight});
   for (const char* name : {"afd-ofu", "afd-sr", "dma-ofu", "dma-chen",
                            "dma-sr", "dma-ge", "dma2-sr", "ga", "rw"}) {
-    const auto spec = *core::ParseStrategy(name);
+    const auto strategy = core::StrategyRegistry::Global().Find(name);
     std::uint64_t shifts = 0;
     double runtime = 0.0;
     double energy = 0.0;
@@ -167,9 +193,10 @@ int CmdCompare(const std::string& path, unsigned dbcs) {
         cfg.domains_per_dbc =
             static_cast<unsigned>((seq.num_variables() + dbcs - 1) / dbcs);
       }
-      const auto placement = core::RunStrategy(spec, seq, cfg.total_dbcs(),
-                                               cfg.domains_per_dbc, options);
-      const auto result = sim::Simulate(seq, placement, cfg);
+      const auto placed =
+          strategy->Run({&seq, cfg.total_dbcs(), cfg.domains_per_dbc, options,
+                         /*compute_cost=*/false});
+      const auto result = sim::Simulate(seq, placed.placement, cfg);
       shifts += result.stats.shifts;
       runtime += result.stats.runtime_ns;
       energy += result.energy.total_pj();
@@ -198,6 +225,9 @@ int main(int argc, char** argv) {
     }
     if (argc >= 4 && std::string(argv[1]) == "compare") {
       return CmdCompare(argv[2], static_cast<unsigned>(std::stoul(argv[3])));
+    }
+    if (argc >= 2 && std::string(argv[1]) == "strategies") {
+      return CmdStrategies();
     }
     if (argc == 1) {
       // Demo: inspect one benchmark so running without arguments shows

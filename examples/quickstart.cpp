@@ -11,7 +11,7 @@
 
 #include "core/cost_model.h"
 #include "core/inter_dma.h"
-#include "core/strategy.h"
+#include "core/strategy_registry.h"
 #include "rtm/config.h"
 #include "sim/simulator.h"
 #include "trace/access_sequence.h"
@@ -34,8 +34,10 @@ int main() {
   // 2. An RTM: the paper's 4 KiB part with 2 DBCs (512 domains each).
   const rtm::RtmConfig config = rtm::RtmConfig::Paper(2);
 
-  // 3. Run every strategy of the paper's evaluation (plus extensions) and
-  //    collect shift costs under the paper's cost model.
+  // 3. Run every strategy of the paper's evaluation (plus extensions),
+  //    resolved by name from the strategy registry. Each Run() returns the
+  //    placement together with its analytic shift cost and wall time.
+  auto& registry = core::StrategyRegistry::Global();
   core::StrategyOptions options;  // paper-scale GA/RW effort is fine here
   util::TextTable table;
   table.SetHeader({"strategy", "shifts", "runtime [ns]", "energy [pJ]"});
@@ -43,13 +45,14 @@ int main() {
                        util::Align::kRight, util::Align::kRight});
   for (const char* name :
        {"afd-ofu", "dma-ofu", "dma-chen", "dma-sr", "dma2-sr", "ga", "rw"}) {
-    const auto spec = *core::ParseStrategy(name);
-    const core::Placement placement = core::RunStrategy(
-        spec, seq, config.total_dbcs(), config.domains_per_dbc, options);
+    const core::PlacementResult placed = registry.Find(name)->Run(
+        {&seq, config.total_dbcs(), config.domains_per_dbc, options});
 
-    // 4. Analytic cost and full device simulation agree on shifts; the
-    //    simulation adds latency and the energy breakdown.
-    const sim::SimulationResult result = sim::Simulate(seq, placement, config);
+    // 4. The analytic cost (placed.cost) and the full device simulation
+    //    agree on shifts; the simulation adds latency and the energy
+    //    breakdown.
+    const sim::SimulationResult result =
+        sim::Simulate(seq, placed.placement, config);
     table.AddRow({name, std::to_string(result.stats.shifts),
                   util::FormatFixed(result.stats.runtime_ns, 2),
                   util::FormatFixed(result.energy.total_pj(), 2)});

@@ -14,7 +14,7 @@
 
 #include "core/cost_model.h"
 #include "core/inter_dma.h"
-#include "core/strategy.h"
+#include "core/strategy_registry.h"
 #include "util/stats.h"
 #include "rtm/config.h"
 #include "sim/simulator.h"
@@ -92,9 +92,12 @@ int main() {
                        util::Align::kRight});
   for (const char* name :
        {"afd-ofu", "dma-ofu", "dma-chen", "dma-sr", "dma2-sr", "rw"}) {
-    const auto spec = *core::ParseStrategy(name);
-    const core::Placement placement = core::RunStrategy(
-        spec, seq, config.total_dbcs(), config.domains_per_dbc, options);
+    const core::Placement placement =
+        core::StrategyRegistry::Global()
+            .Find(name)
+            ->Run({&seq, config.total_dbcs(), config.domains_per_dbc, options,
+                   /*compute_cost=*/false})
+            .placement;
     const sim::SimulationResult r = sim::Simulate(seq, placement, config);
     table.AddRow(
         {name, std::to_string(r.stats.shifts),

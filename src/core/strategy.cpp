@@ -4,10 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/inter_afd.h"
-#include "core/inter_dma.h"
-#include "core/multi_dma.h"
-#include "util/strings.h"
+#include "core/strategy_registry.h"
 
 namespace rtmp::core {
 
@@ -24,15 +21,6 @@ std::string_view InterName(InterPolicy inter) {
   return "unknown";
 }
 
-std::optional<IntraHeuristic> ParseIntra(std::string_view name) {
-  if (name == "none") return IntraHeuristic::kNone;
-  if (name == "ofu") return IntraHeuristic::kOfu;
-  if (name == "chen") return IntraHeuristic::kChen;
-  if (name == "sr") return IntraHeuristic::kShiftsReduce;
-  if (name == "ge") return IntraHeuristic::kGreedyEdge;
-  return std::nullopt;
-}
-
 }  // namespace
 
 std::string ToString(const StrategySpec& spec) {
@@ -46,23 +34,13 @@ std::string ToString(const StrategySpec& spec) {
 }
 
 std::optional<StrategySpec> ParseStrategy(std::string_view name) {
-  const std::string lowered = util::ToLower(name);
-  if (lowered == "ga") return StrategySpec{InterPolicy::kGa, IntraHeuristic::kNone};
-  if (lowered == "rw") {
-    return StrategySpec{InterPolicy::kRandomWalk, IntraHeuristic::kNone};
-  }
-  const auto dash = lowered.find('-');
-  if (dash == std::string::npos) return std::nullopt;
-  const std::string_view inter = std::string_view(lowered).substr(0, dash);
-  const std::string_view intra = std::string_view(lowered).substr(dash + 1);
-  const auto parsed_intra = ParseIntra(intra);
-  if (!parsed_intra) return std::nullopt;
-  if (inter == "afd") return StrategySpec{InterPolicy::kAfd, *parsed_intra};
-  if (inter == "dma") return StrategySpec{InterPolicy::kDma, *parsed_intra};
-  if (inter == "dma2") {
-    return StrategySpec{InterPolicy::kDmaMulti, *parsed_intra};
-  }
-  return std::nullopt;
+  const auto info = StrategyRegistry::Global().Describe(name);
+  if (!info) return std::nullopt;
+  return info->spec;
+}
+
+std::vector<std::string> RegisteredStrategyNames() {
+  return StrategyRegistry::Global().Names();
 }
 
 void ScaleSearchEffort(StrategyOptions& options, double factor) {
@@ -84,37 +62,31 @@ Placement RunStrategy(const StrategySpec& spec,
                       const trace::AccessSequence& seq,
                       std::uint32_t num_dbcs, std::uint32_t capacity,
                       const StrategyOptions& options) {
-  switch (spec.inter) {
-    case InterPolicy::kAfd:
-      return DistributeAfd(seq, num_dbcs, capacity, {spec.intra});
-    case InterPolicy::kDma:
-      return DistributeDma(seq, num_dbcs, capacity, {spec.intra}).placement;
-    case InterPolicy::kDmaMulti:
-      return DistributeMultiDma(seq, num_dbcs, capacity, {{spec.intra}})
-          .placement;
-    case InterPolicy::kGa: {
-      GaOptions ga = options.ga;
-      ga.cost = options.cost;
-      return RunGa(seq, num_dbcs, capacity, ga).best;
-    }
-    case InterPolicy::kRandomWalk: {
-      RwOptions rw = options.rw;
-      rw.cost = options.cost;
-      return RunRandomWalk(seq, num_dbcs, capacity, rw).best;
-    }
+  const auto strategy = StrategyRegistry::Global().Find(ToString(spec));
+  if (!strategy) {
+    throw std::invalid_argument("RunStrategy: unregistered strategy '" +
+                                ToString(spec) + "'");
   }
-  throw std::invalid_argument("RunStrategy: unknown inter policy");
+  // Placement-only callers skip the analytic cost pass.
+  return strategy
+      ->Run({&seq, num_dbcs, capacity, options, /*compute_cost=*/false})
+      .placement;
 }
 
 std::vector<StrategySpec> PaperStrategies() {
-  return {
-      {InterPolicy::kAfd, IntraHeuristic::kOfu},
-      {InterPolicy::kDma, IntraHeuristic::kOfu},
-      {InterPolicy::kDma, IntraHeuristic::kChen},
-      {InterPolicy::kDma, IntraHeuristic::kShiftsReduce},
-      {InterPolicy::kGa, IntraHeuristic::kNone},
-      {InterPolicy::kRandomWalk, IntraHeuristic::kNone},
-  };
+  // The six solutions of §IV-A in the paper's listing order, resolved
+  // through the registry so a missing registration fails loudly.
+  std::vector<StrategySpec> specs;
+  for (const char* name :
+       {"afd-ofu", "dma-ofu", "dma-chen", "dma-sr", "ga", "rw"}) {
+    const auto spec = ParseStrategy(name);
+    if (!spec) {
+      throw std::logic_error(std::string("PaperStrategies: '") + name +
+                             "' is not registered");
+    }
+    specs.push_back(*spec);
+  }
+  return specs;
 }
 
 }  // namespace rtmp::core

@@ -1,7 +1,12 @@
-// Strategy registry: the six placement solutions evaluated in §IV-A, plus
-// extensions, addressable by name ("afd-ofu", "dma-sr", "ga", "rw", ...).
-// The experiment harness and the examples drive everything through this
-// interface.
+// Enum-based strategy identifiers and the legacy entry points over them.
+//
+// The six placement solutions evaluated in §IV-A (plus extensions) are
+// addressable by name ("afd-ofu", "dma-sr", "ga", "rw", ...). Dispatch
+// lives in core/strategy_registry.h: ParseStrategy, RunStrategy and
+// PaperStrategies below are thin shims over StrategyRegistry::Global(),
+// kept so existing call sites migrate incrementally. New code — and any
+// code that wants strategies beyond the built-in enum combinations —
+// should resolve strategies through the registry directly.
 #pragma once
 
 #include <optional>
@@ -31,8 +36,14 @@ struct StrategySpec {
 /// "afd-ofu", "dma-chen", "dma-sr", "dma2-sr", "ga", "rw", ...
 [[nodiscard]] std::string ToString(const StrategySpec& spec);
 
-/// Inverse of ToString; nullopt for unknown names.
+/// Inverse of ToString; nullopt for names not in StrategyRegistry::Global()
+/// (and for registered strategies without an enum-backed spec).
 [[nodiscard]] std::optional<StrategySpec> ParseStrategy(std::string_view name);
+
+/// Every name registered in StrategyRegistry::Global(), sorted — the
+/// single source of truth for accepted strategy names (usage strings,
+/// docs, round-trip tests).
+[[nodiscard]] std::vector<std::string> RegisteredStrategyNames();
 
 /// Tuning for the search-based strategies and the cost model.
 struct StrategyOptions {
@@ -46,7 +57,9 @@ struct StrategyOptions {
 /// a small factor by default so the full suite runs in minutes.
 void ScaleSearchEffort(StrategyOptions& options, double factor);
 
-/// Runs one strategy end to end and returns the placement.
+/// Runs one strategy end to end and returns the placement. Shim over
+/// StrategyRegistry::Global() — resolve the strategy yourself for the full
+/// PlacementResult (cost, wall time, search effort used).
 [[nodiscard]] Placement RunStrategy(const StrategySpec& spec,
                                     const trace::AccessSequence& seq,
                                     std::uint32_t num_dbcs,

@@ -1,0 +1,267 @@
+#include "core/strategy_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cost_model.h"
+#include "core/genetic.h"
+#include "core/inter_afd.h"
+#include "core/inter_dma.h"
+#include "core/multi_dma.h"
+#include "core/random_walk.h"
+#include "util/strings.h"
+
+namespace rtmp::core {
+
+namespace {
+
+void ValidateRequest(const PlacementRequest& request) {
+  if (request.sequence == nullptr) {
+    throw std::invalid_argument("PlacementRequest: sequence is null");
+  }
+  if (request.num_dbcs == 0) {
+    throw std::invalid_argument("PlacementRequest: num_dbcs must be > 0");
+  }
+}
+
+/// Adapter running one of the library's built-in solutions. One instance
+/// per registered name; stateless, so safe to share across threads.
+class BuiltinStrategy final : public PlacementStrategy {
+ public:
+  explicit BuiltinStrategy(StrategyInfo info) : info_(std::move(info)) {}
+
+  [[nodiscard]] const StrategyInfo& Describe() const noexcept override {
+    return info_;
+  }
+
+  [[nodiscard]] PlacementResult Run(
+      const PlacementRequest& request) const override {
+    ValidateRequest(request);
+    PlacementResult result;
+    const StrategySpec& spec = *info_.spec;
+    const trace::AccessSequence& seq = *request.sequence;
+    switch (spec.inter) {
+      case InterPolicy::kAfd:
+        result.placement =
+            DistributeAfd(seq, request.num_dbcs, request.capacity,
+                          {spec.intra});
+        break;
+      case InterPolicy::kDma:
+        result.placement =
+            DistributeDma(seq, request.num_dbcs, request.capacity,
+                          {spec.intra})
+                .placement;
+        break;
+      case InterPolicy::kDmaMulti:
+        result.placement =
+            DistributeMultiDma(seq, request.num_dbcs, request.capacity,
+                               {{spec.intra}})
+                .placement;
+        break;
+      case InterPolicy::kGa: {
+        GaOptions ga = request.options.ga;
+        ga.cost = request.options.cost;
+        GaResult ga_result = RunGa(seq, request.num_dbcs, request.capacity, ga);
+        result.placement = std::move(ga_result.best);
+        result.cost = ga_result.best_cost;
+        result.evaluations = ga_result.evaluations;
+        break;
+      }
+      case InterPolicy::kRandomWalk: {
+        RwOptions rw = request.options.rw;
+        rw.cost = request.options.cost;
+        RwResult rw_result =
+            RunRandomWalk(seq, request.num_dbcs, request.capacity, rw);
+        result.placement = std::move(rw_result.best);
+        result.cost = rw_result.best_cost;
+        result.evaluations = rw.iterations;
+        break;
+      }
+    }
+
+    // The search strategies already evaluated their best candidate under
+    // request.options.cost; only the constructive heuristics need the
+    // explicit cost pass, and only when the caller wants it.
+    if (request.compute_cost && spec.inter != InterPolicy::kGa &&
+        spec.inter != InterPolicy::kRandomWalk) {
+      result.cost = ShiftCost(seq, result.placement, request.options.cost);
+    }
+    return result;
+  }
+
+ private:
+  StrategyInfo info_;
+};
+
+void RegisterSpec(StrategyRegistry& registry, StrategySpec spec,
+                  std::string summary, bool search_based) {
+  StrategyInfo info;
+  info.name = ToString(spec);
+  info.summary = std::move(summary);
+  info.search_based = search_based;
+  info.spec = spec;
+  // Copy the name out before the capture moves `info`: the two arguments
+  // are indeterminately sequenced.
+  std::string name = info.name;
+  registry.Register(std::move(name), [info = std::move(info)] {
+    return std::make_shared<const BuiltinStrategy>(info);
+  });
+}
+
+// The built-in solutions register here. Static-initializer
+// self-registration would be dropped by the linker for unreferenced TUs of
+// a static library, so Global() triggers this explicitly instead.
+
+void RegisterConstructiveStrategies(StrategyRegistry& registry) {
+  constexpr struct {
+    InterPolicy inter;
+    const char* summary;
+  } kInterFamilies[] = {
+      {InterPolicy::kAfd, "frequency deal across DBCs (Chen et al.)"},
+      {InterPolicy::kDma, "liveliness-aware distribution (Algorithm 1)"},
+      {InterPolicy::kDmaMulti, "multi-set DMA (§VI extension)"},
+  };
+  constexpr IntraHeuristic kIntras[] = {
+      IntraHeuristic::kNone, IntraHeuristic::kOfu, IntraHeuristic::kChen,
+      IntraHeuristic::kShiftsReduce, IntraHeuristic::kGreedyEdge};
+  for (const auto& family : kInterFamilies) {
+    for (const IntraHeuristic intra : kIntras) {
+      RegisterSpec(registry, {family.inter, intra},
+                   std::string(family.summary) + ", intra policy '" +
+                       std::string(ToString(intra)) + "'",
+                   /*search_based=*/false);
+    }
+  }
+}
+
+void RegisterSearchStrategies(StrategyRegistry& registry) {
+  RegisterSpec(registry, {InterPolicy::kGa, IntraHeuristic::kNone},
+               "genetic algorithm (§III-C), near-optimal offline baseline",
+               /*search_based=*/true);
+  RegisterSpec(registry, {InterPolicy::kRandomWalk, IntraHeuristic::kNone},
+               "uniform random-walk search, the GA's sanity baseline",
+               /*search_based=*/true);
+}
+
+}  // namespace
+
+PlacementResult RunTimed(const PlacementStrategy& strategy,
+                         const PlacementRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  PlacementResult result = strategy.Run(request);
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+StrategyRegistry& StrategyRegistry::Global() {
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    RegisterBuiltinStrategies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void StrategyRegistry::Register(std::string name, Factory factory) {
+  if (!factory) {
+    throw std::invalid_argument("StrategyRegistry: null factory for '" +
+                                name + "'");
+  }
+  std::string key = util::ToLower(name);
+  // Names appear in CLI arguments and in '|'-delimited ResultTable keys:
+  // restrict to a safe charset rather than blocklisting separators.
+  const auto valid_char = [](unsigned char c) {
+    return std::isalnum(c) != 0 || c == '-' || c == '_' || c == '.';
+  };
+  if (key.empty() || !std::all_of(key.begin(), key.end(), valid_char)) {
+    throw std::invalid_argument("StrategyRegistry: invalid name '" + name +
+                                "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it != entries_.end() && it->first == key) {
+    throw std::invalid_argument("StrategyRegistry: duplicate strategy '" +
+                                key + "'");
+  }
+  entries_.insert(it, {std::move(key), Entry{std::move(factory), nullptr}});
+}
+
+const StrategyRegistry::Entry* StrategyRegistry::FindEntry(
+    const std::string& key) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it == entries_.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+std::shared_ptr<const PlacementStrategy> StrategyRegistry::Find(
+    std::string_view name) const {
+  const std::string key = util::ToLower(name);
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* entry = FindEntry(key);
+    if (entry == nullptr) return nullptr;
+    if (entry->instance) return entry->instance;
+    factory = entry->factory;
+  }
+  // Run the factory unlocked: factories may themselves consult the
+  // registry (e.g. delegate to another strategy) without deadlocking.
+  auto instance = factory();
+  if (!instance) {
+    throw std::logic_error("StrategyRegistry: factory for '" + key +
+                           "' returned null");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Entries are never removed, so the entry is still present; another
+  // thread may have cached an instance first, in which case that one wins.
+  const Entry* entry = FindEntry(key);
+  if (!entry->instance) entry->instance = std::move(instance);
+  return entry->instance;
+}
+
+std::optional<StrategyInfo> StrategyRegistry::Describe(
+    std::string_view name) const {
+  const auto strategy = Find(name);
+  if (!strategy) return std::nullopt;
+  return strategy->Describe();
+}
+
+bool StrategyRegistry::Contains(std::string_view name) const {
+  const std::string key = util::ToLower(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return FindEntry(key) != nullptr;
+}
+
+std::vector<std::string> StrategyRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // entries_ is kept sorted by key
+}
+
+std::size_t StrategyRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void RegisterBuiltinStrategies(StrategyRegistry& registry) {
+  RegisterConstructiveStrategies(registry);
+  RegisterSearchStrategies(registry);
+}
+
+StrategyRegistrar::StrategyRegistrar(std::string name,
+                                     StrategyRegistry::Factory factory) {
+  StrategyRegistry::Global().Register(std::move(name), std::move(factory));
+}
+
+}  // namespace rtmp::core

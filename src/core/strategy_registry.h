@@ -1,0 +1,173 @@
+// Strategy registry: the open, name-keyed dispatch layer for placement
+// strategies.
+//
+// The paper's §IV-A evaluates six fixed solutions; this API makes the set
+// open-ended. A strategy is anything that can turn a PlacementRequest into
+// a PlacementResult; it registers itself under a unique name and is looked
+// up by that name at run time. The experiment engine (sim/experiment.h),
+// the bench binaries and the examples all resolve strategies through the
+// registry, so new strategies (ShiftsReduce variants, reconfigurable
+// layouts, ...) plug in without touching core dispatch code.
+//
+// The legacy enum-based entry points (ParseStrategy / RunStrategy /
+// PaperStrategies in core/strategy.h) are thin shims over this registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/placement.h"
+#include "core/strategy.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::core {
+
+/// Everything a strategy needs to produce a placement. The sequence is
+/// borrowed: it must outlive the Run() call.
+struct PlacementRequest {
+  const trace::AccessSequence* sequence = nullptr;
+  std::uint32_t num_dbcs = 0;
+  std::uint32_t capacity = kUnboundedCapacity;
+  StrategyOptions options{};
+  /// When false, constructive strategies skip the O(accesses) analytic
+  /// cost pass and PlacementResult::cost is 0 — for callers that only
+  /// need the placement. Search strategies report their cost either way
+  /// (it falls out of the search).
+  bool compute_cost = true;
+};
+
+/// A placement plus the bookkeeping the experiment engine reports.
+struct PlacementResult {
+  /// Starts as an empty zero-variable placement; Run() replaces it.
+  Placement placement{0, 1};
+  /// Shift cost of `placement` under request.options.cost.
+  std::uint64_t cost = 0;
+  /// Wall time of the run in milliseconds. Stamped by RunTimed(), not by
+  /// the strategies themselves — a raw Run() call leaves it 0.
+  double wall_ms = 0.0;
+  /// Candidate placements evaluated: the search effort actually used.
+  /// Search strategies report their true budget (GA fitness evaluations,
+  /// RW iterations); the constructive heuristics build one candidate.
+  std::size_t evaluations = 1;
+};
+
+/// Self-description of a registered strategy.
+struct StrategyInfo {
+  /// Registry key: lowercase, unique ("dma-sr", "ga", ...).
+  std::string name;
+  /// One-line human-readable description for --help output and docs.
+  std::string summary;
+  /// True when the strategy consumes the GA/RW effort knobs and a seed
+  /// (ScaleSearchEffort applies; results depend on options.ga/options.rw).
+  bool search_based = false;
+  /// Set for the built-in enum-backed strategies so the legacy
+  /// StrategySpec entry points can round-trip through the registry;
+  /// external strategies leave it empty.
+  std::optional<StrategySpec> spec;
+};
+
+/// Abstract placement strategy. Implementations must be stateless or
+/// internally synchronized: the experiment engine calls Run() from many
+/// threads concurrently on one instance.
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  [[nodiscard]] virtual const StrategyInfo& Describe() const noexcept = 0;
+
+  /// Produces a complete placement for the request. Throws
+  /// std::invalid_argument on requests the strategy cannot serve (e.g.
+  /// insufficient capacity). Implementations need not fill
+  /// PlacementResult::wall_ms; use RunTimed() to measure it.
+  [[nodiscard]] virtual PlacementResult Run(
+      const PlacementRequest& request) const = 0;
+};
+
+/// Run() with PlacementResult::wall_ms stamped from a steady clock around
+/// the call — one timing implementation for built-in AND external
+/// strategies. The experiment engine and the CLI tools go through this.
+[[nodiscard]] PlacementResult RunTimed(const PlacementStrategy& strategy,
+                                       const PlacementRequest& request);
+
+/// Name -> factory registry. Lookups are case-insensitive (names are
+/// normalized to lowercase); construction is lazy and the instance is
+/// cached, so repeated Find() calls are cheap. All members are
+/// thread-safe.
+class StrategyRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<const PlacementStrategy>()>;
+
+  StrategyRegistry() = default;
+  StrategyRegistry(const StrategyRegistry&) = delete;
+  StrategyRegistry& operator=(const StrategyRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-in
+  /// strategies (every InterPolicy x IntraHeuristic combination plus GA
+  /// and RW).
+  [[nodiscard]] static StrategyRegistry& Global();
+
+  /// Registers `factory` under `name` (normalized to lowercase). Throws
+  /// std::invalid_argument if the name is empty, contains whitespace, or
+  /// is already taken. Factories should be cheap: Describe() and any
+  /// metadata listing instantiate the strategy to read its StrategyInfo,
+  /// so defer heavy state to Run().
+  void Register(std::string name, Factory factory);
+
+  /// The strategy registered under `name`; nullptr if unknown.
+  [[nodiscard]] std::shared_ptr<const PlacementStrategy> Find(
+      std::string_view name) const;
+
+  /// Metadata of the strategy registered under `name`; nullopt if unknown.
+  [[nodiscard]] std::optional<StrategyInfo> Describe(
+      std::string_view name) const;
+
+  [[nodiscard]] bool Contains(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    /// Constructed on first lookup, under mutex_.
+    mutable std::shared_ptr<const PlacementStrategy> instance;
+  };
+
+  /// Requires mutex_ to be held by the caller.
+  [[nodiscard]] const Entry* FindEntry(const std::string& key) const;
+
+  mutable std::mutex mutex_;
+  // Sorted by key; small enough (tens of strategies) that a flat vector
+  // beats a map.
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+/// Registers the built-in strategies into `registry`: every
+/// {afd, dma, dma2} x {none, ofu, chen, sr, ge} combination plus "ga" and
+/// "rw". Global() calls this once; tests use it to build fresh registries.
+void RegisterBuiltinStrategies(StrategyRegistry& registry);
+
+/// RAII self-registration into the Global() registry, for strategies
+/// defined outside this library:
+///
+///   static const rtmp::core::StrategyRegistrar kMine{"my-layout", [] {
+///     return std::make_shared<const MyLayoutStrategy>();
+///   }};
+///
+/// Caveat: when linking rtmplace statically, a translation unit that is
+/// never referenced is dropped by the linker along with its registrars —
+/// keep registrars in a TU that is otherwise linked in, or register
+/// explicitly at startup.
+struct StrategyRegistrar {
+  StrategyRegistrar(std::string name, StrategyRegistry::Factory factory);
+};
+
+}  // namespace rtmp::core

@@ -1,11 +1,17 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "core/strategy_registry.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace rtmp::sim {
 
@@ -23,6 +29,15 @@ rtm::RtmConfig ConfigFor(unsigned dbcs, std::size_t num_variables) {
     config.domains_per_dbc = per_dbc;
   }
   return config;
+}
+
+unsigned ResolveThreadCount(unsigned requested, std::size_t num_cells) {
+  unsigned threads = requested;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(1, num_cells)));
 }
 
 }  // namespace
@@ -46,72 +61,184 @@ double SearchEffortFromEnv(double fallback) {
   return value;
 }
 
+unsigned ThreadCountFromEnv(unsigned fallback) {
+  // Anything beyond this is surely a typo, and values above UINT_MAX
+  // would otherwise wrap in the cast.
+  constexpr long kMaxThreads = 1024;
+  const char* raw = std::getenv("RTMPLACE_THREADS");
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || value <= 0 || value > kMaxThreads) return fallback;
+  return static_cast<unsigned>(value);
+}
+
 RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
-                  const core::StrategySpec& strategy,
+                  std::string_view strategy_name,
                   const ExperimentOptions& options) {
+  const auto runner = core::StrategyRegistry::Global().Find(strategy_name);
+  if (!runner) {
+    throw std::invalid_argument("RunCell: unregistered strategy '" +
+                                std::string(strategy_name) + "'");
+  }
+
   RunResult run;
   run.benchmark = benchmark.name;
   run.dbcs = dbcs;
-  run.strategy = strategy;
+  // Store the normalized *requested* name (the registry key), not
+  // Describe().name: a delegating factory may self-describe differently,
+  // and the cell must stay reachable under the name the caller used.
+  run.strategy_name = util::ToLower(strategy_name);
+  run.strategy = runner->Describe().spec;
 
   for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
     const trace::AccessSequence& seq = benchmark.sequences[s];
     if (seq.num_variables() == 0) continue;
     const rtm::RtmConfig config = ConfigFor(dbcs, seq.num_variables());
 
-    core::StrategyOptions strategy_options;
-    strategy_options.cost.initial_alignment = config.initial_alignment;
-    core::ScaleSearchEffort(strategy_options, options.search_effort);
-    // Distinct, reproducible seeds per (benchmark, sequence, dbcs).
+    core::PlacementRequest request;
+    request.sequence = &seq;
+    request.num_dbcs = config.total_dbcs();
+    request.capacity = config.domains_per_dbc;
+    request.options.cost.initial_alignment = config.initial_alignment;
+    core::ScaleSearchEffort(request.options, options.search_effort);
+    // Distinct, reproducible seeds per (benchmark, sequence, dbcs) —
+    // independent of which worker thread runs the cell.
     const std::uint64_t seed = util::HashString(benchmark.name) ^
                                (options.seed + s * 0x9E3779B9ULL + dbcs);
-    strategy_options.ga.seed = seed;
-    strategy_options.rw.seed = seed;
+    request.options.ga.seed = seed;
+    request.options.rw.seed = seed;
 
-    const core::Placement placement =
-        core::RunStrategy(strategy, seq, config.total_dbcs(),
-                          config.domains_per_dbc, strategy_options);
-    run.metrics.Accumulate(Simulate(seq, placement, config));
+    const core::PlacementResult placed = core::RunTimed(*runner, request);
+    run.placement_cost += placed.cost;
+    run.placement_wall_ms += placed.wall_ms;
+    run.search_evaluations += placed.evaluations;
+    run.metrics.Accumulate(Simulate(seq, placed.placement, config));
   }
   return run;
+}
+
+RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
+                  const core::StrategySpec& strategy,
+                  const ExperimentOptions& options) {
+  return RunCell(benchmark, dbcs, ToString(strategy), options);
 }
 
 std::vector<RunResult> RunMatrix(
     const std::vector<offsetstone::Benchmark>& suite,
     const ExperimentOptions& options) {
-  std::vector<RunResult> results;
-  results.reserve(suite.size() * options.dbc_counts.size() *
-                  options.strategies.size());
-  for (const offsetstone::Benchmark& benchmark : suite) {
+  // Enum-backed strategies first, then the name-only extras, matching the
+  // documented grid order. Deduped on the normalized name: a repeated
+  // strategy would burn duplicate cells and then be silently dropped by
+  // ResultTable's first-wins map.
+  std::vector<std::string> strategy_names;
+  strategy_names.reserve(options.strategies.size() +
+                         options.extra_strategies.size());
+  const auto add_name = [&strategy_names](std::string name) {
+    if (std::find(strategy_names.begin(), strategy_names.end(), name) ==
+        strategy_names.end()) {
+      strategy_names.push_back(std::move(name));
+    }
+  };
+  for (const core::StrategySpec& spec : options.strategies) {
+    add_name(ToString(spec));
+  }
+  for (const std::string& name : options.extra_strategies) {
+    add_name(util::ToLower(name));
+  }
+
+  struct Cell {
+    std::size_t benchmark;
+    unsigned dbcs;
+    std::size_t strategy;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(suite.size() * options.dbc_counts.size() *
+                strategy_names.size());
+  for (std::size_t b = 0; b < suite.size(); ++b) {
     for (const unsigned dbcs : options.dbc_counts) {
-      for (const core::StrategySpec& strategy : options.strategies) {
-        results.push_back(RunCell(benchmark, dbcs, strategy, options));
+      for (std::size_t s = 0; s < strategy_names.size(); ++s) {
+        cells.push_back({b, dbcs, s});
       }
     }
   }
+
+  std::vector<RunResult> results(cells.size());
+  if (cells.empty()) return results;
+
+  const unsigned threads = ResolveThreadCount(options.num_threads,
+                                              cells.size());
+
+  // Each worker claims the next unstarted cell and writes its result into
+  // the cell's fixed slot; a lock serializes only the progress callback.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::size_t completed = 0;
+  std::exception_ptr error;
+
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      const Cell& cell = cells[i];
+      try {
+        results[i] = RunCell(suite[cell.benchmark], cell.dbcs,
+                             strategy_names[cell.strategy], options);
+        if (options.progress) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          options.progress(results[i], ++completed, cells.size());
+        }
+      } catch (...) {
+        // Captures RunCell AND progress-callback exceptions: anything that
+        // escaped a worker's entry function would std::terminate.
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
   return results;
 }
 
 std::string ResultTable::Key(const std::string& benchmark, unsigned dbcs,
-                             const core::StrategySpec& strategy) {
+                             const std::string& strategy_name) {
+  // Strategy names are case-insensitive everywhere else; keep lookups
+  // consistent with the registry.
   return benchmark + "|" + std::to_string(dbcs) + "|" +
-         core::ToString(strategy);
+         util::ToLower(strategy_name);
 }
 
 ResultTable::ResultTable(const std::vector<RunResult>& results) {
   for (const RunResult& r : results) {
-    cells_.emplace(Key(r.benchmark, r.dbcs, r.strategy), r.metrics);
+    cells_.emplace(Key(r.benchmark, r.dbcs, r.strategy_name), r.metrics);
   }
 }
 
 const RunMetrics& ResultTable::At(const std::string& benchmark, unsigned dbcs,
-                                  const core::StrategySpec& strategy) const {
-  const auto it = cells_.find(Key(benchmark, dbcs, strategy));
+                                  const std::string& strategy_name) const {
+  const auto it = cells_.find(Key(benchmark, dbcs, strategy_name));
   if (it == cells_.end()) {
     throw std::out_of_range("ResultTable: missing cell " +
-                            Key(benchmark, dbcs, strategy));
+                            Key(benchmark, dbcs, strategy_name));
   }
   return it->second;
+}
+
+const RunMetrics& ResultTable::At(const std::string& benchmark, unsigned dbcs,
+                                  const core::StrategySpec& strategy) const {
+  return At(benchmark, dbcs, core::ToString(strategy));
 }
 
 std::vector<double> ResultTable::NormalizedShifts(

@@ -1,11 +1,22 @@
-// Experiment harness: runs benchmark suites through strategies and RTM
+// Experiment engine: runs benchmark suites through strategies and RTM
 // configurations and aggregates the metrics the paper's evaluation section
 // reports. Every bench binary is a thin wrapper around this module.
+//
+// RunMatrix fans the (benchmark x dbc count x strategy) grid across a
+// std::thread pool. Cells are independent and carry their own
+// deterministic seed (derived from benchmark name, sequence index and DBC
+// count), so the parallel run is bit-identical to the serial one and to
+// itself across machines; the result vector is always in grid order
+// (benchmark-major, then dbcs, then strategy) regardless of which thread
+// finished first.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/strategy.h"
@@ -38,34 +49,75 @@ struct RunMetrics {
 struct RunResult {
   std::string benchmark;
   unsigned dbcs = 0;
-  core::StrategySpec strategy;
+  /// Registry name of the strategy this cell ran (canonical lowercase).
+  std::string strategy_name;
+  /// Enum spec when the strategy is an enum-backed built-in; nullopt for
+  /// cells from ExperimentOptions::extra_strategies without one.
+  std::optional<core::StrategySpec> strategy;
   RunMetrics metrics;
+  /// Analytic shift cost reported by the strategy (sums over sequences);
+  /// cross-checks metrics.shifts from the device simulation.
+  std::uint64_t placement_cost = 0;
+  /// Wall time spent inside the strategy itself, summed over sequences.
+  double placement_wall_ms = 0.0;
+  /// Candidate placements the strategy evaluated (search effort used).
+  std::size_t search_evaluations = 0;
 };
+
+/// Called after each finished cell. `completed` counts finished cells so
+/// far, `total` the whole grid. Invoked under a lock, so the callback may
+/// print without further synchronization, but it runs on a worker thread —
+/// keep it cheap.
+using ProgressCallback =
+    std::function<void(const RunResult&, std::size_t completed,
+                       std::size_t total)>;
 
 struct ExperimentOptions {
   std::vector<unsigned> dbc_counts{2, 4, 8, 16};
   std::vector<core::StrategySpec> strategies = core::PaperStrategies();
+  /// Additional strategies by registry name, appended after `strategies`
+  /// in the grid. This is how externally registered strategies (see
+  /// core::StrategyRegistrar) enter the evaluation matrix.
+  std::vector<std::string> extra_strategies;
   /// GA/RW effort relative to the paper's parameters (1.0 = 200 GA
   /// generations with mu = lambda = 100 and 60 000 RW iterations). The
   /// benches default to a fraction so the full matrix runs in minutes;
   /// set the RTMPLACE_EFFORT environment variable to raise it.
   double search_effort = 0.05;
   std::uint64_t seed = 0x0FF5E7ULL;
+  /// Worker threads for RunMatrix. 0 = hardware concurrency, 1 = serial
+  /// (same results either way; see header comment).
+  unsigned num_threads = 0;
+  ProgressCallback progress;
 };
 
 /// Reads ExperimentOptions::search_effort from the RTMPLACE_EFFORT
 /// environment variable (falls back to `fallback` when unset/invalid).
 [[nodiscard]] double SearchEffortFromEnv(double fallback);
 
-/// Runs the full matrix over `suite`. Sequences whose variable count
-/// exceeds the paper device's capacity run on an iso-DBC-count device with
-/// proportionally deeper DBCs (documented in DESIGN.md §3); everything else
-/// uses rtm::RtmConfig::Paper(dbcs) exactly.
+/// Reads ExperimentOptions::num_threads from the RTMPLACE_THREADS
+/// environment variable (falls back to `fallback` when unset/invalid).
+[[nodiscard]] unsigned ThreadCountFromEnv(unsigned fallback);
+
+/// Runs the full matrix over `suite` on a thread pool (see header
+/// comment). Sequences whose variable count exceeds the paper device's
+/// capacity run on an iso-DBC-count device with proportionally deeper
+/// DBCs (see ConfigFor in experiment.cpp and the "Oversized sequences"
+/// note in README.md); everything else uses rtm::RtmConfig::Paper(dbcs)
+/// exactly.
 [[nodiscard]] std::vector<RunResult> RunMatrix(
     const std::vector<offsetstone::Benchmark>& suite,
     const ExperimentOptions& options);
 
-/// Runs one benchmark / strategy / DBC-count cell.
+/// Runs one benchmark / strategy / DBC-count cell. The strategy is
+/// resolved by name through StrategyRegistry::Global(); throws
+/// std::invalid_argument if it is not registered.
+[[nodiscard]] RunResult RunCell(const offsetstone::Benchmark& benchmark,
+                                unsigned dbcs,
+                                std::string_view strategy_name,
+                                const ExperimentOptions& options);
+
+/// Enum-spec convenience overload; equivalent to passing ToString(spec).
 [[nodiscard]] RunResult RunCell(const offsetstone::Benchmark& benchmark,
                                 unsigned dbcs,
                                 const core::StrategySpec& strategy,
@@ -81,6 +133,11 @@ class ResultTable {
                                      unsigned dbcs,
                                      const core::StrategySpec& strategy) const;
 
+  /// Name-keyed lookup, covering extra_strategies cells as well.
+  [[nodiscard]] const RunMetrics& At(const std::string& benchmark,
+                                     unsigned dbcs,
+                                     const std::string& strategy_name) const;
+
   /// value(strategy) / value(baseline) per benchmark; the paper's Fig. 4
   /// normalizes shift counts to GA, Fig. 5 energies to AFD-OFU.
   [[nodiscard]] std::vector<double> NormalizedShifts(
@@ -91,7 +148,7 @@ class ResultTable {
  private:
   std::map<std::string, RunMetrics> cells_;
   static std::string Key(const std::string& benchmark, unsigned dbcs,
-                         const core::StrategySpec& strategy);
+                         const std::string& strategy_name);
 };
 
 }  // namespace rtmp::sim

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <vector>
 
+#include "core/cost_model.h"
+#include "core/strategy_registry.h"
 #include "sim/experiment.h"
 
 namespace rtmp::sim {
@@ -84,7 +89,7 @@ TEST(Experiment, DmaNeverLosesToAfdOnPhasedWorkload) {
 
 TEST(Experiment, OversizedSequenceWidensTheDevice) {
   // 1100 variables exceed the 1024-word 4 KiB device: the harness must
-  // widen DBC depth instead of throwing (DESIGN.md §3).
+  // widen DBC depth instead of throwing (ConfigFor in sim/experiment.cpp).
   offsetstone::Benchmark big;
   big.name = "big";
   trace::AccessSequence seq;
@@ -113,6 +118,189 @@ TEST(Experiment, SearchEffortFromEnvParsesAndFallsBack) {
   ::setenv("RTMPLACE_EFFORT", "-1", 1);
   EXPECT_DOUBLE_EQ(SearchEffortFromEnv(0.25), 0.25);
   ::unsetenv("RTMPLACE_EFFORT");
+}
+
+TEST(Experiment, ThreadCountFromEnvParsesAndFallsBack) {
+  ::unsetenv("RTMPLACE_THREADS");
+  EXPECT_EQ(ThreadCountFromEnv(3u), 3u);
+  ::setenv("RTMPLACE_THREADS", "8", 1);
+  EXPECT_EQ(ThreadCountFromEnv(3u), 8u);
+  ::setenv("RTMPLACE_THREADS", "garbage", 1);
+  EXPECT_EQ(ThreadCountFromEnv(3u), 3u);
+  ::setenv("RTMPLACE_THREADS", "0", 1);
+  EXPECT_EQ(ThreadCountFromEnv(3u), 3u);
+  ::setenv("RTMPLACE_THREADS", "-2", 1);
+  EXPECT_EQ(ThreadCountFromEnv(3u), 3u);
+  // Out-of-range values must fall back, not wrap in the unsigned cast.
+  ::setenv("RTMPLACE_THREADS", "4294967298", 1);
+  EXPECT_EQ(ThreadCountFromEnv(3u), 3u);
+  ::unsetenv("RTMPLACE_THREADS");
+}
+
+TEST(Experiment, ParallelMatrixIsBitIdenticalToSerial) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("one", "g" "ababab" "g" "cdcdcd" "g"),
+      TinyBenchmark("two", "aabbccaabbcc"),
+      TinyBenchmark("three", "abcdabcdabcd")};
+  ExperimentOptions options = FastOptions();
+  options.strategies = core::PaperStrategies();
+  options.search_effort = 0.02;
+
+  options.num_threads = 1;
+  const auto serial = RunMatrix(suite, options);
+  options.num_threads = 4;
+  const auto parallel = RunMatrix(suite, options);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Same grid order regardless of which worker finished first...
+    EXPECT_EQ(serial[i].benchmark, parallel[i].benchmark);
+    EXPECT_EQ(serial[i].dbcs, parallel[i].dbcs);
+    EXPECT_EQ(serial[i].strategy_name, parallel[i].strategy_name);
+    EXPECT_EQ(serial[i].strategy, parallel[i].strategy);
+    // ...and bit-identical metrics: per-cell seeds do not depend on the
+    // execution schedule.
+    EXPECT_EQ(serial[i].metrics.shifts, parallel[i].metrics.shifts);
+    EXPECT_EQ(serial[i].metrics.accesses, parallel[i].metrics.accesses);
+    EXPECT_EQ(serial[i].placement_cost, parallel[i].placement_cost);
+    EXPECT_EQ(serial[i].search_evaluations, parallel[i].search_evaluations);
+    EXPECT_DOUBLE_EQ(serial[i].metrics.runtime_ns,
+                     parallel[i].metrics.runtime_ns);
+    EXPECT_DOUBLE_EQ(serial[i].metrics.total_energy_pj(),
+                     parallel[i].metrics.total_energy_pj());
+  }
+}
+
+TEST(Experiment, ProgressCallbackSeesEveryCellExactlyOnce) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("one", "abcabc"), TinyBenchmark("two", "aabbcc")};
+  ExperimentOptions options = FastOptions();
+  options.num_threads = 4;
+  const std::size_t expected =
+      suite.size() * options.dbc_counts.size() * options.strategies.size();
+
+  std::vector<std::size_t> completions;
+  std::size_t reported_total = 0;
+  options.progress = [&](const RunResult& result, std::size_t completed,
+                         std::size_t total) {
+    // Serialized by the engine: no locking needed here.
+    EXPECT_FALSE(result.benchmark.empty());
+    completions.push_back(completed);
+    reported_total = total;
+  };
+  const auto results = RunMatrix(suite, options);
+  EXPECT_EQ(results.size(), expected);
+  EXPECT_EQ(reported_total, expected);
+  ASSERT_EQ(completions.size(), expected);
+  // `completed` counts monotonically 1..total.
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    EXPECT_EQ(completions[i], i + 1);
+  }
+}
+
+/// Minimal external strategy: deal variables by DESCENDING id, round
+/// robin. Exists only to prove non-enum strategies reach the engine.
+class ReverseIdStrategy final : public core::PlacementStrategy {
+ public:
+  const core::StrategyInfo& Describe() const noexcept override {
+    static const core::StrategyInfo info{
+        "rev-id", "descending-id round-robin deal (test strategy)"};
+    return info;
+  }
+
+  core::PlacementResult Run(
+      const core::PlacementRequest& request) const override {
+    const auto& seq = *request.sequence;
+    core::PlacementResult result;
+    result.placement = core::Placement(seq.num_variables(),
+                                       request.num_dbcs, request.capacity);
+    for (std::size_t i = seq.num_variables(); i > 0; --i) {
+      result.placement.Append(
+          static_cast<std::uint32_t>((seq.num_variables() - i) %
+                                     request.num_dbcs),
+          static_cast<trace::VariableId>(i - 1));
+    }
+    result.cost = ShiftCost(seq, result.placement, request.options.cost);
+    return result;
+  }
+};
+
+const core::StrategyRegistrar kReverseIdRegistrar{"rev-id", [] {
+  return std::make_shared<const ReverseIdStrategy>();
+}};
+
+TEST(Experiment, ExtraStrategiesReachTheMatrixByName) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("one", "abcabc")};
+  ExperimentOptions options = FastOptions();
+  // Mixed case on purpose: cells must stay reachable under the requested
+  // name, matching the registry's case-insensitive resolution.
+  options.extra_strategies = {"rev-id", "AFD-GE"};
+  const auto results = RunMatrix(suite, options);
+  EXPECT_EQ(results.size(),
+            options.dbc_counts.size() *
+                (options.strategies.size() + options.extra_strategies.size()));
+
+  bool saw_external = false;
+  for (const RunResult& r : results) {
+    if (r.strategy_name != "rev-id") continue;
+    saw_external = true;
+    EXPECT_FALSE(r.strategy.has_value());  // no enum backing
+    EXPECT_EQ(r.metrics.accesses, 6u);
+  }
+  EXPECT_TRUE(saw_external);
+
+  // Name-keyed table lookup covers both extras and built-ins.
+  const ResultTable table(results);
+  EXPECT_EQ(table.At("one", 2, std::string("rev-id")).accesses, 6u);
+  EXPECT_EQ(table.At("one", 2, std::string("afd-ge")).accesses, 6u);
+  EXPECT_THROW((void)table.At("one", 2, std::string("missing-name")),
+               std::out_of_range);
+}
+
+TEST(Experiment, MatrixDedupesOverlappingStrategyNames) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("one", "abcabc")};
+  ExperimentOptions options = FastOptions();
+  // Both already in FastOptions().strategies (afd-ofu, dma-ofu): the grid
+  // must not run duplicate cells for them.
+  options.extra_strategies = {"AFD-OFU", "dma-ofu", "afd-ge"};
+  const auto results = RunMatrix(suite, options);
+  EXPECT_EQ(results.size(),
+            options.dbc_counts.size() * (options.strategies.size() + 1));
+}
+
+TEST(Experiment, ProgressCallbackExceptionsPropagateFromWorkers) {
+  const std::vector<offsetstone::Benchmark> suite = {
+      TinyBenchmark("one", "abcabc"), TinyBenchmark("two", "aabbcc")};
+  ExperimentOptions options = FastOptions();
+  options.num_threads = 4;
+  options.progress = [](const RunResult&, std::size_t, std::size_t) {
+    throw std::runtime_error("progress failed");
+  };
+  // Must surface as an exception from RunMatrix, not std::terminate in a
+  // worker thread.
+  EXPECT_THROW((void)RunMatrix(suite, options), std::runtime_error);
+}
+
+TEST(Experiment, RunCellReportsPlacementCostAndWallTime) {
+  const offsetstone::Benchmark b =
+      TinyBenchmark("phased", "g" "ababab" "g" "cdcdcd" "g");
+  const RunResult result =
+      RunCell(b, 2, {core::InterPolicy::kDma, core::IntraHeuristic::kOfu},
+              FastOptions());
+  // The analytic cost the strategy reports equals the simulator's count.
+  EXPECT_EQ(result.placement_cost, result.metrics.shifts);
+  EXPECT_GE(result.placement_wall_ms, 0.0);
+  EXPECT_EQ(result.search_evaluations, 1u);  // one constructive candidate
+}
+
+TEST(Experiment, RunCellRejectsUnregisteredStrategies) {
+  const offsetstone::Benchmark b = TinyBenchmark("x", "abab");
+  core::StrategySpec bogus;
+  bogus.inter = static_cast<core::InterPolicy>(250);
+  EXPECT_THROW((void)RunCell(b, 2, bogus, FastOptions()),
+               std::invalid_argument);
 }
 
 TEST(Experiment, DeterministicAcrossRuns) {

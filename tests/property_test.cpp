@@ -1,6 +1,7 @@
 // Cross-cutting property suites: every strategy, over randomized workloads
-// and the full configuration grid, must uphold the invariants DESIGN.md §6
-// calls out. These parameterized sweeps are the repository's main guard
+// and the full configuration grid, must uphold the library's core
+// invariants (complete placements, cost-model/simulator agreement,
+// determinism). These parameterized sweeps are the repository's main guard
 // against silent regressions in any placement policy.
 #include <gtest/gtest.h>
 

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "core/cost_model.h"
 #include "core/strategy.h"
+#include "core/strategy_registry.h"
 #include "trace/access_sequence.h"
 
 namespace rtmp::core {
@@ -9,15 +13,41 @@ namespace {
 
 using trace::AccessSequence;
 
-TEST(Strategy, ParseAndToStringRoundTrip) {
-  const char* names[] = {"afd-ofu",  "afd-chen", "afd-sr",  "afd-none",
-                         "afd-ge",   "dma-ofu",  "dma-chen", "dma-sr",
-                         "dma-none", "dma-ge",   "dma2-sr",  "ga", "rw"};
-  for (const char* name : names) {
+TEST(Strategy, ParseAndToStringRoundTripForEveryRegisteredName) {
+  // The accepted-name list is derived from the registry, so this is
+  // exhaustive by construction: every enum-backed registered name must
+  // round-trip. Registered strategies without an enum spec (external
+  // StrategyRegistrar users) are intentionally outside the shim and are
+  // skipped.
+  const auto& registry = StrategyRegistry::Global();
+  std::size_t enum_backed = 0;
+  for (const auto& name : RegisteredStrategyNames()) {
+    const auto info = registry.Describe(name);
+    ASSERT_TRUE(info.has_value()) << name;
+    if (!info->spec.has_value()) continue;
+    ++enum_backed;
     const auto spec = ParseStrategy(name);
     ASSERT_TRUE(spec.has_value()) << name;
     EXPECT_EQ(ToString(*spec), name);
   }
+  ASSERT_GE(enum_backed, 17u);  // {afd,dma,dma2} x 5 intras + ga + rw
+}
+
+TEST(Strategy, RegisteredNamesCoverTheDocumentedGrid) {
+  const auto names = RegisteredStrategyNames();
+  const auto has = [&](const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  // Names like "afd-sr" and "dma2-ofu" used to parse without ever being
+  // listed anywhere; now the registry is the single source of truth.
+  for (const char* inter : {"afd", "dma", "dma2"}) {
+    for (const char* intra : {"none", "ofu", "chen", "sr", "ge"}) {
+      EXPECT_TRUE(has(std::string(inter) + "-" + intra))
+          << inter << "-" << intra;
+    }
+  }
+  EXPECT_TRUE(has("ga"));
+  EXPECT_TRUE(has("rw"));
 }
 
 TEST(Strategy, ParseIsCaseInsensitive) {
@@ -33,6 +63,9 @@ TEST(Strategy, ParseRejectsUnknownNames) {
   EXPECT_FALSE(ParseStrategy("dma-").has_value());
   EXPECT_FALSE(ParseStrategy("xyz-ofu").has_value());
   EXPECT_FALSE(ParseStrategy("dma-xyz").has_value());
+  EXPECT_FALSE(ParseStrategy("afd-ofu-extra").has_value());
+  EXPECT_FALSE(ParseStrategy(" dma-sr").has_value());
+  EXPECT_FALSE(ParseStrategy("ga2").has_value());
 }
 
 TEST(Strategy, PaperStrategiesAreTheSixOfSectionIvA) {
