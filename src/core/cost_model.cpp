@@ -74,12 +74,29 @@ std::vector<std::uint64_t> MultiPortCosts(const trace::AccessSequence& seq,
 
 }  // namespace
 
+void ValidateAgainstDomains(const Placement& placement,
+                            const CostOptions& options) {
+  const std::uint32_t domains = options.domains_per_dbc;
+  if (domains == 0) return;
+  for (std::uint32_t d = 0; d < placement.num_dbcs(); ++d) {
+    if (placement.dbc(d).size() > domains) {
+      throw std::invalid_argument("cost model: placement deeper than DBC");
+    }
+  }
+  for (const std::uint32_t port : options.port_offsets) {
+    if (port >= domains) {
+      throw std::invalid_argument("cost model: port offset out of range");
+    }
+  }
+}
+
 std::vector<std::uint64_t> PerDbcShiftCost(const trace::AccessSequence& seq,
                                            const Placement& placement,
                                            const CostOptions& options) {
   if (options.port_offsets.empty()) {
     throw std::invalid_argument("CostOptions: need at least one port");
   }
+  ValidateAgainstDomains(placement, options);
   if (options.port_offsets.size() == 1) {
     return SinglePortCosts(seq, placement, options);
   }

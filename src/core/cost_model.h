@@ -25,10 +25,22 @@ struct CostOptions {
   /// Port offsets inside a DBC. One entry = the paper's single-port model
   /// (shift cost |pos(u) - pos(v)| regardless of the port's own offset).
   std::vector<std::uint32_t> port_offsets{0};
-  /// Domains per DBC; only needed to bound port offsets in multi-port mode.
-  /// 0 derives it from the placement's capacity or content.
+  /// Domains per DBC. When set, placements deeper than a DBC and ports
+  /// outside it are rejected (std::invalid_argument), mirroring
+  /// sim::Simulate; it also bounds port offsets in multi-port mode.
+  /// 0 skips validation and derives the multi-port bound from the
+  /// placement's capacity or content.
   std::uint32_t domains_per_dbc = 0;
 };
+
+/// Validates `placement` against `options`: when options.domains_per_dbc is
+/// set, every DBC must hold at most that many variables and every port
+/// offset must lie inside the DBC (throws std::invalid_argument otherwise).
+/// ShiftCost/PerDbcShiftCost and CostEvaluator apply this so the analytic
+/// paths reject exactly the placements sim::Simulate rejects; with
+/// domains_per_dbc unset (0) any placement is accepted, as before.
+void ValidateAgainstDomains(const Placement& placement,
+                            const CostOptions& options);
 
 /// Total shift cost of `seq` under `placement`. Every accessed variable must
 /// be placed (throws std::logic_error otherwise).

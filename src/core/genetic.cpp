@@ -4,6 +4,7 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "core/cost_evaluator.h"
 #include "core/inter_afd.h"
 #include "core/inter_dma.h"
 #include "trace/variable_stats.h"
@@ -184,9 +185,15 @@ GaResult RunGa(const trace::AccessSequence& seq, std::uint32_t num_dbcs,
   const std::vector<VariableId> order = AppearanceOrder(seq);
   GaResult result{Placement(n, num_dbcs, capacity), 0, {}, 0};
 
+  // Fitness runs on the incremental evaluator: consecutive candidates
+  // mostly share their DBC partition, so scoring one costs a diff plus a
+  // re-price of the touched DBCs instead of an O(|S|) trace replay (the
+  // evaluator falls back to that replay for large diffs and multi-port
+  // configurations, so results are bit-identical to ShiftCost either way).
+  CostEvaluator evaluator(seq, options.cost);
   auto evaluate = [&](const Placement& p) {
     ++result.evaluations;
-    return ShiftCost(seq, p, options.cost);
+    return evaluator.Evaluate(p);
   };
 
   // -- initial population ---------------------------------------------------
@@ -251,15 +258,29 @@ GaResult RunGa(const trace::AccessSequence& seq, std::uint32_t num_dbcs,
     }
 
     // mu + lambda pool; elitist tournament selection into the next
-    // generation (the elite slot keeps the history monotone).
+    // generation (the elite slot keeps the history monotone). Selection
+    // draws indices first and materializes afterwards: a pool member that
+    // wins several tournaments is deep-copied once per EXTRA win and moved
+    // on its last, instead of copied on every win.
     std::vector<Individual> pool = std::move(population);
     pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),
                 std::make_move_iterator(offspring.end()));
+    std::vector<std::size_t> chosen;
+    chosen.reserve(options.mu);
+    chosen.push_back(best_of(pool));
+    while (chosen.size() < options.mu) {
+      chosen.push_back(Tournament(pool, options.tournament_size, rng));
+    }
+    std::vector<std::uint32_t> uses(pool.size(), 0);
+    for (const std::size_t i : chosen) ++uses[i];
     std::vector<Individual> next;
     next.reserve(options.mu);
-    next.push_back(pool[best_of(pool)]);
-    while (next.size() < options.mu) {
-      next.push_back(pool[Tournament(pool, options.tournament_size, rng)]);
+    for (const std::size_t i : chosen) {
+      if (--uses[i] == 0) {
+        next.push_back(std::move(pool[i]));
+      } else {
+        next.push_back(pool[i]);
+      }
     }
     population = std::move(next);
     result.history.push_back(population[0].cost);

@@ -115,6 +115,11 @@ std::size_t SeedVertex(const LocalProblem& local) {
 /// Shared greedy skeleton for kChen/kShiftsReduce: repeatedly take the
 /// unplaced vertex with the largest total weight to the placed set and let
 /// `choose_front` decide which end it is appended to.
+///
+/// Contract: `choose_front(v, order)` is called EXACTLY ONCE per remaining
+/// vertex, and v is placed at the chosen end immediately afterwards.
+/// Callbacks may carry state keyed on that contract — ShiftsReduceChain's
+/// does (it tracks each placed vertex's virtual chain coordinate).
 template <typename ChooseFront>
 std::vector<std::size_t> GrowChain(const LocalProblem& local,
                                    ChooseFront&& choose_front) {
@@ -162,10 +167,14 @@ std::vector<std::size_t> GrowChain(const LocalProblem& local,
 
 std::uint64_t EdgeWeightBetween(const LocalProblem& local, std::size_t u,
                                 std::size_t v) {
-  for (const auto& e : local.adjacency[u]) {
-    if (e.neighbor == v) return e.weight;
-  }
-  return 0;
+  // Adjacency lists are sorted by neighbor id (BuildLocal).
+  const auto& edges = local.adjacency[u];
+  const auto it = std::lower_bound(
+      edges.begin(), edges.end(), v,
+      [](const trace::AccessGraph::Edge& e, std::size_t id) {
+        return e.neighbor < id;
+      });
+  return it != edges.end() && it->neighbor == v ? it->weight : 0;
 }
 
 std::vector<std::size_t> ChenChain(const LocalProblem& local) {
@@ -271,24 +280,54 @@ std::vector<std::size_t> GreedyEdgeChain(const LocalProblem& local) {
 }
 
 std::vector<std::size_t> ShiftsReduceChain(const LocalProblem& local) {
-  auto chain = GrowChain(local, [&local](std::size_t v,
-                                         const std::deque<std::size_t>& order) {
-    // Distance-discounted attachment: an edge to a variable i positions from
-    // an end would cost (i+1) shifts per traversal if we append at that end.
-    double front_score = 0.0;
-    double back_score = 0.0;
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      const std::uint64_t w_front = EdgeWeightBetween(local, v, order[i]);
-      if (w_front != 0) {
-        front_score += static_cast<double>(w_front) / static_cast<double>(i + 1);
-      }
-      const std::uint64_t w_back =
-          EdgeWeightBetween(local, v, order[order.size() - 1 - i]);
-      if (w_back != 0) {
-        back_score += static_cast<double>(w_back) / static_cast<double>(i + 1);
-      }
+  // Distance-discounted attachment: an edge to a variable i positions from
+  // an end would cost (i+1) shifts per traversal if we append at that end.
+  //
+  // Scored over the candidate's placed NEIGHBORS (the transition weights),
+  // not by scanning the whole chain per candidate: O(deg log deg) instead
+  // of O(|chain|) per decision — the same pairwise-transition idea the
+  // CostEvaluator (core/cost_evaluator.h) builds on. Virtual coordinates
+  // track each placed vertex's position: the seed sits at 0, a front push
+  // decrements the front coordinate, a back push increments the back one.
+  // Contributions are summed in ascending distance order — exactly the
+  // order the former whole-chain scan added them — so the floating-point
+  // scores, and therefore the chains, are bit-identical.
+  std::vector<std::int64_t> coord(local.size(), 0);
+  std::vector<char> in_chain(local.size(), 0);
+  std::int64_t front_coord = 0;
+  std::int64_t back_coord = 0;
+  struct Term {
+    std::int64_t distance;
+    std::uint64_t weight;
+  };
+  std::vector<Term> front_terms;
+  std::vector<Term> back_terms;
+  const auto discounted_sum = [](std::vector<Term>& terms) {
+    std::sort(terms.begin(), terms.end(),
+              [](const Term& a, const Term& b) {
+                return a.distance < b.distance;  // distances are distinct
+              });
+    double score = 0.0;
+    for (const Term& t : terms) {
+      score += static_cast<double>(t.weight) /
+               static_cast<double>(t.distance + 1);
     }
-    return front_score > back_score;
+    return score;
+  };
+  auto chain = GrowChain(local, [&](std::size_t v,
+                                    const std::deque<std::size_t>& order) {
+    in_chain[order.front()] = 1;  // adopts the seed on the first call
+    front_terms.clear();
+    back_terms.clear();
+    for (const auto& e : local.adjacency[v]) {
+      if (!in_chain[e.neighbor]) continue;
+      front_terms.push_back({coord[e.neighbor] - front_coord, e.weight});
+      back_terms.push_back({back_coord - coord[e.neighbor], e.weight});
+    }
+    const bool to_front = discounted_sum(front_terms) > discounted_sum(back_terms);
+    coord[v] = to_front ? --front_coord : ++back_coord;
+    in_chain[v] = 1;
+    return to_front;
   });
 
   // Local refinement: adjacent transpositions on the exact edge-sum

@@ -25,6 +25,9 @@ struct RwResult {
   /// Best cost after each iteration block of 1/100th of the run (at least
   /// one sample); cheap convergence curve for reports.
   std::vector<std::uint64_t> history;
+  /// Candidate placements actually scored (== RwOptions::iterations); the
+  /// strategy registry reports this as the search effort used.
+  std::size_t evaluations = 0;
 };
 
 [[nodiscard]] RwResult RunRandomWalk(const trace::AccessSequence& seq,

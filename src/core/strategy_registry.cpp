@@ -77,7 +77,7 @@ class BuiltinStrategy final : public PlacementStrategy {
             RunRandomWalk(seq, request.num_dbcs, request.capacity, rw);
         result.placement = std::move(rw_result.best);
         result.cost = rw_result.best_cost;
-        result.evaluations = rw.iterations;
+        result.evaluations = rw_result.evaluations;
         break;
       }
     }

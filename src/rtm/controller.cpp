@@ -62,15 +62,22 @@ std::vector<RequestTiming> RtmController::Execute(
       timing.hidden_shift_ns = std::clamp(timing.hidden_shift_ns, 0.0, shift_time);
       channel_free_ns_ = timing.finish_ns;
       dbc_free_ns_[request.dbc] = timing.finish_ns;
-      stats_.channel_busy_ns += access_time + (shift_time - timing.hidden_shift_ns);
+      // Shifts occupy the DBC, not the shared channel: only the access
+      // itself books channel time. The shift time the request still had to
+      // wait out is exposed stall, accounted separately — folding it into
+      // channel_busy_ns double-booked the channel (utilization > 100%).
+      stats_.channel_busy_ns += access_time;
+      stats_.exposed_shift_ns += shift_time - timing.hidden_shift_ns;
     } else {
-      // Serial operation: shift + access both occupy the channel.
+      // Serial operation: shift + access both occupy the channel, so the
+      // whole shift is exposed stall AND channel time.
       timing.shift_start_ns = std::max(request.arrival_ns, channel_free_ns_);
       timing.access_start_ns = timing.shift_start_ns + shift_time;
       timing.finish_ns = timing.access_start_ns + access_time;
       channel_free_ns_ = timing.finish_ns;
       dbc_free_ns_[request.dbc] = timing.finish_ns;
       stats_.channel_busy_ns += shift_time + access_time;
+      stats_.exposed_shift_ns += shift_time;
     }
 
     stats_.shifts += shifts;

@@ -58,6 +58,18 @@ struct RequestTiming {
 };
 
 /// Aggregate controller statistics.
+///
+/// Shift-time accounting: every request's shift time splits into a hidden
+/// part (ran in the background while the channel served other requests;
+/// proactive mode only) and an exposed part (the requester had to wait it
+/// out): shift_busy_ns == hidden_shift_ns + exposed_shift_ns. The shared
+/// channel is booked only for time it is actually occupied — accesses
+/// always; shifts only in serial mode, where the controller holds the
+/// channel while shifting. In proactive mode shifts occupy just their DBC,
+/// so exposed shift time is stall, NOT channel occupancy; it never inflates
+/// channel_busy_ns (which previously could exceed the makespan, reporting
+/// more than 100% channel utilization). Invariant either way:
+/// channel_busy_ns <= makespan_ns for back-to-back request streams.
 struct ControllerStats {
   std::uint64_t requests = 0;
   std::uint64_t shifts = 0;
@@ -65,6 +77,7 @@ struct ControllerStats {
   double channel_busy_ns = 0.0;   ///< time the shared channel was occupied
   double shift_busy_ns = 0.0;     ///< total shifting time across DBCs
   double hidden_shift_ns = 0.0;   ///< shifting overlapped with the channel
+  double exposed_shift_ns = 0.0;  ///< shift stall the requests waited out
 };
 
 class RtmController {

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cost_evaluator.h"
+#include "core/cost_model.h"
+#include "core/genetic.h"
+#include "core/placement.h"
+#include "trace/access_sequence.h"
+#include "util/rng.h"
+
+namespace rtmp::core {
+namespace {
+
+using trace::AccessSequence;
+using trace::VariableId;
+
+AccessSequence RandomSequence(std::size_t num_variables, std::size_t length,
+                              util::Rng& rng) {
+  AccessSequence seq;
+  for (std::size_t v = 0; v < num_variables; ++v) {
+    seq.AddVariable(std::to_string(v));
+  }
+  for (std::size_t i = 0; i < length; ++i) {
+    seq.Append(static_cast<VariableId>(rng.NextBelow(num_variables)));
+  }
+  return seq;
+}
+
+std::vector<CostOptions> OptionMatrix(std::uint32_t domains) {
+  std::vector<CostOptions> matrix;
+  for (const auto alignment : {rtm::InitialAlignment::kFirstAccess,
+                               rtm::InitialAlignment::kZero}) {
+    CostOptions single;
+    single.initial_alignment = alignment;
+    matrix.push_back(single);
+
+    CostOptions offset_port;
+    offset_port.initial_alignment = alignment;
+    offset_port.port_offsets = {domains / 2};
+    offset_port.domains_per_dbc = domains;
+    matrix.push_back(offset_port);
+
+    CostOptions two_ports;
+    two_ports.initial_alignment = alignment;
+    two_ports.port_offsets = {0, domains - 1};
+    two_ports.domains_per_dbc = domains;
+    matrix.push_back(two_ports);
+  }
+  return matrix;
+}
+
+/// One random structure-preserving placement edit, applied to BOTH the
+/// evaluator and a shadow placement kept with plain Placement calls.
+void RandomEdit(CostEvaluator& evaluator, Placement& shadow, util::Rng& rng) {
+  const std::uint32_t q = shadow.num_dbcs();
+  switch (rng.NextBelow(3)) {
+    case 0: {  // move a variable to the end of a DBC with room
+      const auto v =
+          static_cast<VariableId>(rng.NextBelow(shadow.num_variables()));
+      std::vector<std::uint32_t> targets;
+      const std::uint32_t limit =
+          evaluator.options().domains_per_dbc == 0
+              ? kUnboundedCapacity
+              : evaluator.options().domains_per_dbc;
+      for (std::uint32_t d = 0; d < q; ++d) {
+        const bool same = shadow.SlotOf(v).dbc == d;
+        if (same || (shadow.FreeIn(d) > 0 && shadow.dbc(d).size() < limit)) {
+          targets.push_back(d);
+        }
+      }
+      const std::uint32_t target = rng.Pick(targets);
+      evaluator.ApplyMove(v, target);
+      shadow.MoveToEnd(v, target);
+      return;
+    }
+    case 1: {  // transpose inside a non-trivial DBC
+      std::vector<std::uint32_t> candidates;
+      for (std::uint32_t d = 0; d < q; ++d) {
+        if (shadow.dbc(d).size() >= 2) candidates.push_back(d);
+      }
+      if (candidates.empty()) return;
+      const std::uint32_t d = rng.Pick(candidates);
+      const std::size_t size = shadow.dbc(d).size();
+      const auto i = static_cast<std::size_t>(rng.NextBelow(size));
+      const auto j = static_cast<std::size_t>(rng.NextBelow(size));
+      evaluator.ApplyTranspose(d, i, j);
+      shadow.Transpose(d, i, j);
+      return;
+    }
+    default: {  // shuffle one DBC wholesale
+      const auto d = static_cast<std::uint32_t>(rng.NextBelow(q));
+      std::vector<VariableId> order = shadow.dbc(d);
+      if (order.size() < 2) return;
+      rng.Shuffle(order);
+      evaluator.ApplyReorder(d, order);
+      shadow.Reorder(d, order);
+      return;
+    }
+  }
+}
+
+TEST(CostEvaluator, EvaluateMatchesShiftCostOnRandomInputs) {
+  util::Rng rng(0xC0FFEE);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 1 + rng.NextBelow(12);
+    const auto seq = RandomSequence(n, rng.NextBelow(80), rng);
+    const auto q = static_cast<std::uint32_t>(1 + rng.NextBelow(4));
+    for (const CostOptions& options : OptionMatrix(/*domains=*/16)) {
+      CostEvaluator evaluator(seq, options);
+      for (int sample = 0; sample < 4; ++sample) {
+        const Placement p =
+            RandomPlacement(n, q, /*capacity=*/16, rng);
+        EXPECT_EQ(evaluator.Evaluate(p), ShiftCost(seq, p, options));
+        EXPECT_EQ(evaluator.Cost(), ShiftCost(seq, p, options));
+      }
+    }
+  }
+}
+
+TEST(CostEvaluator, PerDbcCostMatchesDecomposition) {
+  util::Rng rng(42);
+  const auto seq = RandomSequence(9, 70, rng);
+  for (const CostOptions& options : OptionMatrix(16)) {
+    CostEvaluator evaluator(seq, options);
+    const Placement p = RandomPlacement(9, 3, 16, rng);
+    (void)evaluator.Evaluate(p);
+    EXPECT_EQ(evaluator.PerDbcCost(), PerDbcShiftCost(seq, p, options));
+  }
+}
+
+TEST(CostEvaluator, IncrementalChainsMatchShiftCost) {
+  util::Rng rng(0xABCDEF);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 2 + rng.NextBelow(10);
+    const auto seq = RandomSequence(n, 10 + rng.NextBelow(60), rng);
+    const auto q = static_cast<std::uint32_t>(2 + rng.NextBelow(3));
+    for (const CostOptions& options : OptionMatrix(16)) {
+      CostEvaluator evaluator(seq, options);
+      Placement shadow = RandomPlacement(n, q, 16, rng);
+      evaluator.Bind(shadow);
+      for (int step = 0; step < 12; ++step) {
+        RandomEdit(evaluator, shadow, rng);
+        ASSERT_EQ(evaluator.placement(), shadow);
+        ASSERT_EQ(evaluator.Cost(), ShiftCost(seq, shadow, options))
+            << "round " << round << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(CostEvaluator, UndoRewindsWholeChains) {
+  util::Rng rng(0x5EED);
+  for (int round = 0; round < 15; ++round) {
+    const std::size_t n = 2 + rng.NextBelow(8);
+    const auto seq = RandomSequence(n, 10 + rng.NextBelow(50), rng);
+    for (const CostOptions& options : OptionMatrix(16)) {
+      CostEvaluator evaluator(seq, options);
+      Placement shadow = RandomPlacement(n, 3, 16, rng);
+      evaluator.Bind(shadow);
+      const Placement original = evaluator.placement();
+      const std::uint64_t original_cost = evaluator.Cost();
+      for (int step = 0; step < 8; ++step) {
+        RandomEdit(evaluator, shadow, rng);
+      }
+      while (evaluator.undo_depth() > 0) {
+        evaluator.Undo();
+        ASSERT_EQ(evaluator.Cost(),
+                  ShiftCost(seq, evaluator.placement(), options));
+      }
+      EXPECT_EQ(evaluator.placement(), original);
+      EXPECT_EQ(evaluator.Cost(), original_cost);
+    }
+  }
+}
+
+TEST(CostEvaluator, PeeksPredictApplyExactly) {
+  // Trial scoring must return exactly the cost the Apply would produce,
+  // and must not disturb the bound state.
+  util::Rng rng(0xFEED);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 2 + rng.NextBelow(10);
+    const auto seq = RandomSequence(n, 10 + rng.NextBelow(80), rng);
+    const auto q = static_cast<std::uint32_t>(2 + rng.NextBelow(3));
+    for (const CostOptions& options : OptionMatrix(16)) {
+      CostEvaluator evaluator(seq, options);
+      Placement shadow = RandomPlacement(n, q, 16, rng);
+      evaluator.Bind(shadow);
+      for (int step = 0; step < 10; ++step) {
+        const std::uint64_t before = evaluator.Cost();
+        std::uint64_t peeked = 0;
+        switch (rng.NextBelow(3)) {
+          case 0: {
+            const auto v =
+                static_cast<VariableId>(rng.NextBelow(shadow.num_variables()));
+            const auto d = static_cast<std::uint32_t>(rng.NextBelow(q));
+            peeked = evaluator.PeekMove(v, d);
+            ASSERT_EQ(evaluator.Cost(), before);
+            ASSERT_EQ(evaluator.placement(), shadow);
+            ASSERT_EQ(evaluator.ApplyMove(v, d), peeked);
+            shadow.MoveToEnd(v, d);
+            break;
+          }
+          case 1: {
+            const auto d = static_cast<std::uint32_t>(rng.NextBelow(q));
+            const std::size_t size = shadow.dbc(d).size();
+            if (size < 2) continue;
+            const auto i = static_cast<std::size_t>(rng.NextBelow(size));
+            const auto j = static_cast<std::size_t>(rng.NextBelow(size));
+            peeked = evaluator.PeekTranspose(d, i, j);
+            ASSERT_EQ(evaluator.Cost(), before);
+            ASSERT_EQ(evaluator.ApplyTranspose(d, i, j), peeked);
+            shadow.Transpose(d, i, j);
+            break;
+          }
+          default: {
+            const auto d = static_cast<std::uint32_t>(rng.NextBelow(q));
+            std::vector<VariableId> order = shadow.dbc(d);
+            if (order.size() < 2) continue;
+            rng.Shuffle(order);
+            peeked = evaluator.PeekReorder(d, order);
+            ASSERT_EQ(evaluator.Cost(), before);
+            ASSERT_EQ(evaluator.ApplyReorder(d, order), peeked);
+            shadow.Reorder(d, order);
+            break;
+          }
+        }
+        ASSERT_EQ(evaluator.Cost(), ShiftCost(seq, shadow, options));
+      }
+    }
+  }
+}
+
+TEST(CostEvaluator, PeeksValidateLikeApplies) {
+  const auto seq = AccessSequence::FromCompactString("abcabc");
+  CostEvaluator evaluator(seq, {});
+  evaluator.Bind(Placement::FromLists({{0, 1}, {2}}, 3, 2));
+  EXPECT_THROW((void)evaluator.PeekMove(0, 7), std::invalid_argument);
+  EXPECT_THROW((void)evaluator.PeekMove(2, 0), std::invalid_argument);  // full
+  EXPECT_THROW((void)evaluator.PeekTranspose(0, 0, 5), std::out_of_range);
+  EXPECT_THROW((void)evaluator.PeekReorder(0, {0}), std::invalid_argument);
+  EXPECT_THROW((void)evaluator.PeekReorder(0, {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)evaluator.PeekReorder(0, {0, 2}), std::invalid_argument);
+}
+
+TEST(CostEvaluator, EvaluateDiffPathTracksGradualMutation) {
+  // Exercises the splice-based diff path: consecutive placements differ by
+  // one edit, exactly the GA's evaluation pattern.
+  util::Rng rng(7);
+  const auto seq = RandomSequence(10, 120, rng);
+  const CostOptions options;  // single port, first access free
+  CostEvaluator evaluator(seq, options);
+  Placement p = RandomPlacement(10, 4, 16, rng);
+  for (int step = 0; step < 60; ++step) {
+    const auto v = static_cast<VariableId>(rng.NextBelow(10));
+    const auto d = static_cast<std::uint32_t>(rng.NextBelow(4));
+    p.MoveToEnd(v, d);
+    ASSERT_EQ(evaluator.Evaluate(p), ShiftCost(seq, p, options)) << step;
+  }
+}
+
+TEST(CostEvaluator, SinglePortFastPathReportsIncremental) {
+  const auto seq = AccessSequence::FromCompactString("abab");
+  CostOptions single;
+  EXPECT_TRUE(CostEvaluator(seq, single).incremental());
+  CostOptions dual;
+  dual.port_offsets = {0, 3};
+  EXPECT_FALSE(CostEvaluator(seq, dual).incremental());
+}
+
+TEST(CostEvaluator, AgreesWithCostModelOnDomainValidation) {
+  const auto seq = AccessSequence::FromCompactString("abc");
+  const auto deep = Placement::FromLists({{0, 1, 2}}, 3);
+  CostOptions options;
+  options.domains_per_dbc = 2;  // three variables cannot fit
+  EXPECT_THROW((void)ShiftCost(seq, deep, options), std::invalid_argument);
+  CostEvaluator evaluator(seq, options);
+  EXPECT_THROW(evaluator.Bind(deep), std::invalid_argument);
+  EXPECT_THROW((void)evaluator.Evaluate(deep), std::invalid_argument);
+
+  // A move that would overflow the DBC depth is rejected up front.
+  CostOptions roomy;
+  roomy.domains_per_dbc = 2;
+  const auto tight = Placement::FromLists({{0, 1}, {2}}, 3);
+  CostEvaluator bounded(seq, roomy);
+  bounded.Bind(tight);
+  EXPECT_THROW((void)bounded.ApplyMove(2, 0), std::invalid_argument);
+  EXPECT_EQ(bounded.undo_depth(), 0u);
+  EXPECT_EQ(bounded.Cost(), ShiftCost(seq, tight, roomy));
+}
+
+TEST(CostEvaluator, ThrowsLikeShiftCostOnUnplacedVariables) {
+  const auto seq = AccessSequence::FromCompactString("ab");
+  const auto partial = Placement::FromLists({{0}}, 2);  // b unplaced
+  CostEvaluator evaluator(seq, {});
+  EXPECT_THROW((void)evaluator.Evaluate(partial), std::logic_error);
+}
+
+TEST(CostEvaluator, RequiresBindingAndNonEmptyUndoStack) {
+  const auto seq = AccessSequence::FromCompactString("ab");
+  CostEvaluator evaluator(seq, {});
+  EXPECT_THROW((void)evaluator.Cost(), std::logic_error);
+  EXPECT_THROW((void)evaluator.placement(), std::logic_error);
+  EXPECT_THROW(evaluator.Undo(), std::logic_error);
+  evaluator.Bind(Placement::FromLists({{0, 1}}, 2));
+  EXPECT_THROW(evaluator.Undo(), std::logic_error);
+  CostOptions no_ports;
+  no_ports.port_offsets = {};
+  EXPECT_THROW(CostEvaluator(seq, no_ports), std::invalid_argument);
+}
+
+TEST(CostEvaluator, HandlesPlacementsWithMoreVariablesThanTheSequence) {
+  // ShiftCost accepts placements that declare (and place) variables the
+  // sequence never accesses; the evaluator must too. Regression: the
+  // per-variable scratch tables used to be sized to the sequence only.
+  const auto seq = AccessSequence::FromCompactString("abab");  // 2 variables
+  CostEvaluator evaluator(seq, {});
+  Placement p = Placement::FromLists({{0, 3, 1, 4}, {2}}, 5);
+  evaluator.Bind(p);
+  EXPECT_EQ(evaluator.Cost(), ShiftCost(seq, p));
+  EXPECT_EQ(evaluator.PeekTranspose(0, 0, 2), evaluator.ApplyTranspose(0, 0, 2));
+  p.Transpose(0, 0, 2);
+  EXPECT_EQ(evaluator.Cost(), ShiftCost(seq, p));
+  // Moving an unaccessed variable shifts the offsets of accessed ones.
+  EXPECT_EQ(evaluator.PeekMove(3, 1), evaluator.ApplyMove(3, 1));
+  p.MoveToEnd(3, 1);
+  EXPECT_EQ(evaluator.Cost(), ShiftCost(seq, p));
+  std::vector<VariableId> order{4, 1, 0};
+  EXPECT_EQ(evaluator.PeekReorder(0, order), evaluator.ApplyReorder(0, order));
+  p.Reorder(0, order);
+  EXPECT_EQ(evaluator.Cost(), ShiftCost(seq, p));
+  evaluator.Undo();
+  evaluator.Undo();
+  evaluator.Undo();
+  EXPECT_EQ(evaluator.Cost(),
+            ShiftCost(seq, Placement::FromLists({{0, 3, 1, 4}, {2}}, 5)));
+  // Evaluate's diff path with an extra-variable move.
+  Placement q = Placement::FromLists({{0, 3, 1}, {2, 4}}, 5);
+  EXPECT_EQ(evaluator.Evaluate(q), ShiftCost(seq, q));
+}
+
+TEST(CostEvaluator, ApplyReturnsTheNewTotal) {
+  const auto seq = AccessSequence::FromCompactString("abcabcabc");
+  CostEvaluator evaluator(seq, {});
+  Placement p = Placement::FromLists({{0, 1, 2}}, 3, 3);
+  evaluator.Bind(p);
+  const std::uint64_t swapped = evaluator.ApplyTranspose(0, 0, 2);
+  p.Transpose(0, 0, 2);
+  EXPECT_EQ(swapped, ShiftCost(seq, p));
+  evaluator.Undo();
+  p.Transpose(0, 0, 2);
+  EXPECT_EQ(evaluator.Cost(), ShiftCost(seq, p));
+}
+
+}  // namespace
+}  // namespace rtmp::core

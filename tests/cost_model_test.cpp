@@ -112,6 +112,32 @@ TEST(CostModel, ThrowsOnUnplacedAccessedVariable) {
   EXPECT_THROW((void)ShiftCost(seq, p), std::logic_error);
 }
 
+TEST(CostModel, RejectsPlacementsDeeperThanDbc) {
+  // Regression: the analytic path used to accept placements whose offsets
+  // exceed domains_per_dbc while sim::Simulate rejected the same placement.
+  const auto seq = AccessSequence::FromCompactString("abcd");
+  const auto p = Placement::FromLists({{0, 1, 2}, {3}}, 4);
+  CostOptions options;
+  options.domains_per_dbc = 2;  // DBC0 holds 3 variables: offset 2 invalid
+  EXPECT_THROW((void)ShiftCost(seq, p, options), std::invalid_argument);
+  EXPECT_THROW((void)PerDbcShiftCost(seq, p, options), std::invalid_argument);
+  options.domains_per_dbc = 3;
+  EXPECT_NO_THROW((void)ShiftCost(seq, p, options));
+  options.domains_per_dbc = 0;  // unset: no validation, as before
+  EXPECT_NO_THROW((void)ShiftCost(seq, p, options));
+}
+
+TEST(CostModel, RejectsPortsOutsideTheDbc) {
+  const auto seq = AccessSequence::FromCompactString("ab");
+  const auto p = Placement::FromLists({{0, 1}}, 2);
+  CostOptions options;
+  options.port_offsets = {4};
+  options.domains_per_dbc = 4;  // valid offsets are 0..3
+  EXPECT_THROW((void)ShiftCost(seq, p, options), std::invalid_argument);
+  options.port_offsets = {3};
+  EXPECT_NO_THROW((void)ShiftCost(seq, p, options));
+}
+
 TEST(CostModel, ThrowsOnEmptyPortList) {
   const auto seq = AccessSequence::FromCompactString("a");
   const auto p = Placement::FromLists({{0}}, 1);

@@ -241,6 +241,29 @@ TEST(RunGaFn, RejectsBadOptions) {
   EXPECT_THROW(RunGa(seq, 2, 1, SmallGa()), std::invalid_argument);
 }
 
+TEST(RunGaFn, PinnedResultsUnchangedByEvaluatorRefactor) {
+  // Golden values captured from the pre-CostEvaluator implementation
+  // (ShiftCost replay per candidate, copy-based elitist selection). The
+  // evaluator-backed GA must reproduce them bit-exactly: same RNG stream,
+  // same costs, same elite.
+  const auto seq = MediumTrace();
+  const GaResult four = RunGa(seq, 4, kUnboundedCapacity, SmallGa());
+  EXPECT_EQ(four.best_cost, 5u);
+  EXPECT_EQ(four.evaluations, 192u);
+  EXPECT_EQ(four.history.front(), 6u);
+  const GaResult two = RunGa(seq, 2, kUnboundedCapacity, SmallGa());
+  EXPECT_EQ(two.best_cost, 15u);
+  const GaResult capped = RunGa(seq, 4, 3, SmallGa());
+  EXPECT_EQ(capped.best_cost, 6u);
+  GaOptions zero = SmallGa();
+  zero.cost.initial_alignment = rtm::InitialAlignment::kZero;
+  EXPECT_EQ(RunGa(seq, 4, kUnboundedCapacity, zero).best_cost, 5u);
+  GaOptions two_ports = SmallGa();
+  two_ports.cost.port_offsets = {0, 16};
+  two_ports.cost.domains_per_dbc = 32;
+  EXPECT_EQ(RunGa(seq, 2, 32, two_ports).best_cost, 15u);
+}
+
 TEST(RunGaFn, HandlesSingleVariableTrace) {
   const auto seq = AccessSequence::FromCompactString("aaa");
   const GaResult result = RunGa(seq, 2, kUnboundedCapacity, SmallGa());

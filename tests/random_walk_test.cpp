@@ -73,6 +73,27 @@ TEST(RandomWalk, RejectsDegenerateInput) {
   EXPECT_THROW(RunRandomWalk(seq, 2, 2, SmallRw(10)), std::invalid_argument);
 }
 
+TEST(RandomWalk, ReportsEvaluationsPerformed) {
+  const auto seq = Trace();
+  const RwResult result = RunRandomWalk(seq, 2, kUnboundedCapacity,
+                                        SmallRw(137));
+  EXPECT_EQ(result.evaluations, 137u);
+}
+
+TEST(RandomWalk, PinnedResultUnchangedByEvaluatorRefactor) {
+  // Golden values captured from the pre-CostEvaluator ShiftCost-replay
+  // implementation; the refactored walk must reproduce them bit-exactly.
+  const auto seq = AccessSequence::FromCompactString(
+      "gabababgcdcdcdgefefefghihihig");
+  RwOptions options;
+  options.iterations = 500;
+  options.seed = 7;
+  const RwResult four = RunRandomWalk(seq, 4, kUnboundedCapacity, options);
+  EXPECT_EQ(four.best_cost, 6u);
+  const RwResult two = RunRandomWalk(seq, 2, 5, options);
+  EXPECT_EQ(two.best_cost, 15u);
+}
+
 TEST(RandomWalk, SingleVariableIsFree) {
   const auto seq = AccessSequence::FromCompactString("aaaa");
   const RwResult result =
