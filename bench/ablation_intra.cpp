@@ -1,86 +1,6 @@
-// The interplay of inter- and intra-DBC placement (paper contribution 3):
-// the full cross product of inter policies (AFD, DMA, DMA2) and intra
-// policies (OFU, Chen, SR, GE) over the suite, per DBC count. The paper's
-// claim to check: the DMA distribution "provides a promising base for the
-// Chen and ShiftsReduce heuristics" — i.e. intra optimization helps BOTH
-// inter policies, DMA dominates for every intra choice, and the intra gain
-// shrinks as DBCs increase (sparser DBCs leave less to reorder).
-#include <cstdio>
+// ablation_intra — legacy alias of `rtmbench run ablation_intra`.
+// The scenario body lives in bench/harness/scenarios/ablation_intra.cpp; this
+// binary keeps the historical name and output working.
+#include "harness/scenario.h"
 
-#include "common.h"
-#include "core/strategy.h"
-#include "util/stats.h"
-
-int main() {
-  using namespace rtmp;
-
-  std::printf("== Interplay: inter policy x intra policy (geomean shifts "
-              "normalized to afd-ofu) ==\n\n");
-  benchtool::PrintEffortNote(benchtool::Effort());
-
-  sim::ExperimentOptions options;
-  options.strategies.clear();
-  const core::InterPolicy inters[] = {core::InterPolicy::kAfd,
-                                      core::InterPolicy::kDma,
-                                      core::InterPolicy::kDmaMulti};
-  const core::IntraHeuristic intras[] = {
-      core::IntraHeuristic::kOfu, core::IntraHeuristic::kChen,
-      core::IntraHeuristic::kShiftsReduce, core::IntraHeuristic::kGreedyEdge};
-  for (const auto inter : inters) {
-    for (const auto intra : intras) {
-      options.strategies.push_back({inter, intra});
-    }
-  }
-  benchtool::ConfigureMatrix(options);  // effort, threads, progress
-  const auto suite = offsetstone::GenerateSuite();
-  const sim::ResultTable table(RunMatrix(suite, options));
-  const auto names = benchtool::SuiteNames();
-  const core::StrategySpec baseline{core::InterPolicy::kAfd,
-                                    core::IntraHeuristic::kOfu};
-
-  double dma_sr_gain[4] = {};
-  double afd_sr_gain[4] = {};
-  for (std::size_t i = 0; i < options.dbc_counts.size(); ++i) {
-    const unsigned dbcs = options.dbc_counts[i];
-    std::printf("-- %u DBCs --\n", dbcs);
-    util::TextTable out;
-    out.SetHeader({"inter \\ intra", "ofu", "chen", "sr", "ge"});
-    out.SetAlignments({util::Align::kLeft, util::Align::kRight,
-                       util::Align::kRight, util::Align::kRight,
-                       util::Align::kRight});
-    const char* inter_labels[] = {"afd", "dma", "dma2"};
-    for (std::size_t inter_idx = 0; inter_idx < std::size(inters);
-         ++inter_idx) {
-      const auto inter = inters[inter_idx];
-      std::vector<std::string> row{inter_labels[inter_idx]};
-      for (const auto intra : intras) {
-        const auto normalized =
-            table.NormalizedShifts(names, dbcs, {inter, intra}, baseline);
-        const double g = util::GeoMean(normalized);
-        row.push_back(util::FormatFixed(g, 2));
-        if (inter == core::InterPolicy::kDma &&
-            intra == core::IntraHeuristic::kShiftsReduce) {
-          dma_sr_gain[i] = g;
-        }
-        if (inter == core::InterPolicy::kAfd &&
-            intra == core::IntraHeuristic::kShiftsReduce) {
-          afd_sr_gain[i] = g;
-        }
-      }
-      out.AddRow(std::move(row));
-    }
-    std::fputs(out.Render().c_str(), stdout);
-    std::printf("\n");
-  }
-
-  std::printf("-- shape checks --\n");
-  bool dma_dominates = true;
-  for (std::size_t i = 0; i < 4; ++i) {
-    dma_dominates = dma_dominates && dma_sr_gain[i] <= afd_sr_gain[i] + 0.02;
-  }
-  std::printf("DMA base never loses to AFD base under SR: %s\n",
-              dma_dominates ? "yes" : "NO");
-  std::printf("(smaller is better; every column is normalized to afd-ofu "
-              "= 1.00)\n");
-  return 0;
-}
+int main() { return rtmp::benchtool::RunLegacyAlias("ablation_intra"); }

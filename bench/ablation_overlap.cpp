@@ -1,99 +1,6 @@
-// Proactive port alignment (related work [1], [12], [20], [21]): how much
-// of the remaining shift latency can a controller hide by pre-shifting a
-// DBC while the channel serves other DBCs — and how that interacts with
-// placement quality. Placement and proactive alignment are complementary:
-// placement removes shifts (energy AND latency), the controller only hides
-// latency; and a good placement leaves fewer long shifts to hide.
-#include <cstdio>
+// ablation_overlap — legacy alias of `rtmbench run ablation_overlap`.
+// The scenario body lives in bench/harness/scenarios/ablation_overlap.cpp; this
+// binary keeps the historical name and output working.
+#include "harness/scenario.h"
 
-#include "common.h"
-#include "core/strategy_registry.h"
-#include "rtm/controller.h"
-#include "util/stats.h"
-
-namespace {
-
-rtmp::rtm::ControllerStats Replay(const rtmp::trace::AccessSequence& seq,
-                                  const rtmp::core::Placement& placement,
-                                  const rtmp::rtm::RtmConfig& config,
-                                  const rtmp::rtm::ControllerConfig& cc) {
-  std::vector<std::pair<unsigned, std::uint32_t>> locations(
-      seq.num_variables(), {0u, 0u});
-  for (rtmp::trace::VariableId v = 0; v < seq.num_variables(); ++v) {
-    if (!placement.IsPlaced(v)) continue;
-    const auto slot = placement.SlotOf(v);
-    locations[v] = {slot.dbc, slot.offset};
-  }
-  return ReplaySequence(seq, locations, config, cc);
-}
-
-}  // namespace
-
-int main() {
-  using namespace rtmp;
-
-  std::printf("== Proactive alignment vs placement quality ==\n\n");
-  benchtool::PrintEffortNote(benchtool::Effort());
-
-  const auto suite = offsetstone::GenerateSuite();
-  const char* subset[] = {"bison", "gsm", "jpeg", "gzip", "fft", "cpp"};
-
-  util::TextTable out;
-  out.SetHeader({"placement", "DBCs", "serial [us]", "proactive [us]",
-                 "hidden", "speedup"});
-  out.SetAlignments({util::Align::kLeft, util::Align::kRight,
-                     util::Align::kRight, util::Align::kRight,
-                     util::Align::kRight, util::Align::kRight});
-
-  for (const char* strategy_name : {"afd-ofu", "dma-sr"}) {
-    const auto strategy = core::StrategyRegistry::Global().Find(strategy_name);
-    for (const unsigned dbcs : {4u, 16u}) {
-      double serial_total = 0.0;
-      double proactive_total = 0.0;
-      double shift_total = 0.0;
-      double hidden_total = 0.0;
-      for (const char* name : subset) {
-        for (const auto& benchmark : suite) {
-          if (benchmark.name != name) continue;
-          for (const auto& seq : benchmark.sequences) {
-            if (seq.num_variables() == 0) continue;
-            rtm::RtmConfig config = rtm::RtmConfig::Paper(dbcs);
-            if (seq.num_variables() > config.word_capacity()) {
-              config.domains_per_dbc = static_cast<unsigned>(
-                  (seq.num_variables() + dbcs - 1) / dbcs);
-            }
-            const auto placement =
-                strategy
-                    ->Run({&seq, config.total_dbcs(), config.domains_per_dbc,
-                           {}, /*compute_cost=*/false})
-                    .placement;
-            const auto serial =
-                Replay(seq, placement, config, rtm::ControllerConfig{});
-            rtm::ControllerConfig pc;
-            pc.proactive_alignment = true;
-            pc.lookahead = 1;
-            const auto proactive = Replay(seq, placement, config, pc);
-            serial_total += serial.makespan_ns;
-            proactive_total += proactive.makespan_ns;
-            shift_total += proactive.shift_busy_ns;
-            hidden_total += proactive.hidden_shift_ns;
-          }
-        }
-      }
-      out.AddRow({strategy_name, std::to_string(dbcs),
-                  util::FormatFixed(serial_total / 1e3, 1),
-                  util::FormatFixed(proactive_total / 1e3, 1),
-                  util::FormatFixed(shift_total > 0.0
-                                        ? 100.0 * hidden_total / shift_total
-                                        : 0.0, 1) + " %",
-                  util::FormatFixed(serial_total / proactive_total, 2) + "x"});
-    }
-    out.AddRule();
-  }
-  std::fputs(out.Render().c_str(), stdout);
-  std::printf(
-      "\nProactive alignment hides part of the shift LATENCY but none of "
-      "the\nshift ENERGY; placement (DMA-SR) removes both, and the two "
-      "compose.\n");
-  return 0;
-}
+int main() { return rtmp::benchtool::RunLegacyAlias("ablation_overlap"); }

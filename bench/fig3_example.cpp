@@ -1,113 +1,6 @@
-// Reproduces Fig. 3: the paper's worked data-placement example. Every
-// number printed here is also locked down by tests/paper_example_test.cpp.
-#include <cstdio>
-#include <string>
+// fig3_example — legacy alias of `rtmbench run fig3_example`.
+// The scenario body lives in bench/harness/scenarios/fig3_example.cpp; this
+// binary keeps the historical name and output working.
+#include "harness/scenario.h"
 
-#include "core/cost_model.h"
-#include "core/inter_afd.h"
-#include "core/inter_dma.h"
-#include "core/placement.h"
-#include "trace/access_sequence.h"
-#include "trace/variable_stats.h"
-#include "util/table.h"
-
-namespace {
-
-rtmp::trace::AccessSequence PaperSequence() {
-  rtmp::trace::AccessSequence seq;
-  for (char c = 'a'; c <= 'i'; ++c) seq.AddVariable(std::string(1, c));
-  for (const char c : std::string_view("ababcacaddaiefefgeghgihi")) {
-    seq.Append(*seq.FindVariable(std::string_view(&c, 1)));
-  }
-  return seq;
-}
-
-void PrintPlacement(const rtmp::trace::AccessSequence& seq,
-                    const rtmp::core::Placement& placement,
-                    const char* label) {
-  std::printf("%s\n", label);
-  const auto per_dbc = rtmp::core::PerDbcShiftCost(seq, placement);
-  std::uint64_t total = 0;
-  for (std::uint32_t d = 0; d < placement.num_dbcs(); ++d) {
-    std::printf("  DBC%u:", d);
-    for (const auto v : placement.dbc(d)) {
-      std::printf(" %s", seq.name_of(v).c_str());
-    }
-    std::printf("   -> %llu shifts\n",
-                static_cast<unsigned long long>(per_dbc[d]));
-    total += per_dbc[d];
-  }
-  std::printf("  total: %llu shifts\n\n",
-              static_cast<unsigned long long>(total));
-}
-
-}  // namespace
-
-int main() {
-  using namespace rtmp;
-  std::printf("== Fig. 3: worked example (V = a..i, |S| = 24) ==\n\n");
-  const trace::AccessSequence seq = PaperSequence();
-
-  std::printf("S:");
-  for (const auto& access : seq.accesses()) {
-    std::printf(" %s", seq.name_of(access.variable).c_str());
-  }
-  std::printf("\n\n");
-
-  // Fig. 3(e): per-variable stats (printed 1-based, as in the paper).
-  const auto stats = trace::ComputeVariableStats(seq);
-  util::TextTable stat_table;
-  stat_table.SetHeader({"v", "Av", "Fv", "Lv", "lifespan"});
-  stat_table.SetAlignments({util::Align::kLeft, util::Align::kRight,
-                            util::Align::kRight, util::Align::kRight,
-                            util::Align::kRight});
-  for (trace::VariableId v = 0; v < seq.num_variables(); ++v) {
-    stat_table.AddRow({seq.name_of(v),
-                       std::to_string(stats[v].frequency),
-                       std::to_string(stats[v].first + 1),
-                       std::to_string(stats[v].last + 1),
-                       std::to_string(stats[v].Lifespan())});
-  }
-  std::fputs(stat_table.Render().c_str(), stdout);
-  std::printf("\n");
-
-  // Fig. 3(c): the AFD baseline layout; paper: 24 + 15 = 39 shifts.
-  const core::Placement afd = core::DistributeAfd(
-      seq, 2, core::kUnboundedCapacity, {core::IntraHeuristic::kNone});
-  PrintPlacement(seq, afd, "AFD placement (paper Fig. 3c; expected 24+15=39):");
-
-  // Fig. 3(d): the paper's hand-drawn sequence-aware layout; 4 + 7 = 11.
-  std::vector<std::vector<trace::VariableId>> hand(2);
-  for (const char c : std::string_view("bcdeh")) {
-    hand[0].push_back(*seq.FindVariable(std::string_view(&c, 1)));
-  }
-  for (const char c : std::string_view("afgi")) {
-    hand[1].push_back(*seq.FindVariable(std::string_view(&c, 1)));
-  }
-  const auto paper_layout =
-      core::Placement::FromLists(hand, seq.num_variables());
-  PrintPlacement(seq, paper_layout,
-                 "Sequence-aware placement (paper Fig. 3d; expected 4+7=11):");
-
-  // Algorithm 1's own output on the same trace.
-  const auto dma = core::DistributeDma(seq, 2, core::kUnboundedCapacity,
-                                       {core::IntraHeuristic::kOfu});
-  std::printf("Algorithm 1 selects Vdj = {");
-  for (std::size_t i = 0; i < dma.disjoint.size(); ++i) {
-    std::printf("%s%s", i ? ", " : "", seq.name_of(dma.disjoint[i]).c_str());
-  }
-  std::uint64_t freq_sum = 0;
-  for (const auto v : dma.disjoint) freq_sum += stats[v].frequency;
-  std::printf("} with frequency sum %llu (paper: {b, c, d, e, h}, 11)\n\n",
-              static_cast<unsigned long long>(freq_sum));
-  PrintPlacement(seq, dma.placement, "DMA-OFU placement (Algorithm 1):");
-
-  const double afd_cost =
-      static_cast<double>(core::ShiftCost(seq, afd));
-  const double hand_cost =
-      static_cast<double>(core::ShiftCost(seq, paper_layout));
-  std::printf("improvement of the paper layout over AFD: %.2fx "
-              "(paper: 3.54x)\n",
-              afd_cost / hand_cost);
-  return 0;
-}
+int main() { return rtmp::benchtool::RunLegacyAlias("fig3_example"); }

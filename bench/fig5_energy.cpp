@@ -1,95 +1,6 @@
-// Reproduces Fig. 5: total energy (leakage + read/write + shift) of
-// AFD-OFU, DMA-OFU and DMA-SR, normalized to AFD-OFU, per DBC count; with
-// the in-text total reductions:
-//   DMA-OFU: 61 / 62 / 44 / 13 %  (2/4/8/16 DBCs)
-//   DMA-SR:  77 / 70 / 50 / 21 %
-// Shapes to check: the shift-energy share shrinks and the leakage share
-// grows with DBC count; the leakage term also drops for DMA because the
-// runtime drops (paper's observation (3)).
-#include <cstdio>
+// fig5_energy — legacy alias of `rtmbench run fig5_energy`.
+// The scenario body lives in bench/harness/scenarios/fig5_energy.cpp; this
+// binary keeps the historical name and output working.
+#include "harness/scenario.h"
 
-#include "common.h"
-#include "core/strategy.h"
-#include "util/stats.h"
-
-int main() {
-  using namespace rtmp;
-
-  std::printf("== Fig. 5: energy breakdown normalized to AFD-OFU ==\n\n");
-  benchtool::PrintEffortNote(benchtool::Effort());
-
-  sim::ExperimentOptions options;
-  options.strategies = {
-      {core::InterPolicy::kAfd, core::IntraHeuristic::kOfu},
-      {core::InterPolicy::kDma, core::IntraHeuristic::kOfu},
-      {core::InterPolicy::kDma, core::IntraHeuristic::kShiftsReduce},
-  };
-  benchtool::ConfigureMatrix(options);  // effort, threads, progress
-  const auto suite = offsetstone::GenerateSuite();
-  const sim::ResultTable table(RunMatrix(suite, options));
-  const auto names = benchtool::SuiteNames();
-
-  const char* labels[] = {"AFD-OFU", "DMA-OFU", "DMA-SR"};
-  const double paper_reduction[3][4] = {
-      {0, 0, 0, 0}, {61, 62, 44, 13}, {77, 70, 50, 21}};
-
-  // Suite-wide energy components per (dbc, strategy).
-  util::TextTable out;
-  out.SetHeader({"DBCs", "strategy", "leakage", "read/write", "shift",
-                 "total (norm.)", "paper reduction"});
-  out.SetAlignments({util::Align::kRight, util::Align::kLeft,
-                     util::Align::kRight, util::Align::kRight,
-                     util::Align::kRight, util::Align::kRight,
-                     util::Align::kRight});
-  double measured_reduction[3][4] = {};
-  double leakage_share[3][4] = {};
-  double shift_share[3][4] = {};
-  for (std::size_t i = 0; i < options.dbc_counts.size(); ++i) {
-    const unsigned dbcs = options.dbc_counts[i];
-    double base_total = 0.0;
-    for (std::size_t s = 0; s < options.strategies.size(); ++s) {
-      double leak = 0.0;
-      double rw = 0.0;
-      double shift = 0.0;
-      for (const auto& name : names) {
-        const auto& m = table.At(name, dbcs, options.strategies[s]);
-        leak += m.leakage_pj;
-        rw += m.read_write_pj;
-        shift += m.shift_pj;
-      }
-      const double total = leak + rw + shift;
-      if (s == 0) base_total = total;
-      const double norm = base_total > 0.0 ? total / base_total : 0.0;
-      measured_reduction[s][i] = 100.0 * (1.0 - norm);
-      leakage_share[s][i] = total > 0.0 ? leak / total : 0.0;
-      shift_share[s][i] = total > 0.0 ? shift / total : 0.0;
-      out.AddRow({std::to_string(dbcs), labels[s],
-                  util::FormatFixed(leak / base_total, 3),
-                  util::FormatFixed(rw / base_total, 3),
-                  util::FormatFixed(shift / base_total, 3),
-                  util::FormatFixed(norm, 3),
-                  s == 0 ? "-"
-                         : benchtool::PaperVsMeasured(
-                               paper_reduction[s][i],
-                               measured_reduction[s][i], 0) + " %"});
-    }
-    out.AddRule();
-  }
-  std::fputs(out.Render().c_str(), stdout);
-
-  std::printf("\n-- shape checks --\n");
-  const bool leakage_grows =
-      leakage_share[0][3] > leakage_share[0][0];  // AFD: 16 vs 2 DBCs
-  const bool shift_shrinks = shift_share[0][3] < shift_share[0][0];
-  bool dma_saves = true;
-  for (std::size_t i = 0; i < 4; ++i) {
-    dma_saves = dma_saves && measured_reduction[2][i] >= 0.0;
-  }
-  std::printf("leakage share grows with DBC count (AFD-OFU): %s\n",
-              leakage_grows ? "yes" : "NO");
-  std::printf("shift-energy share shrinks with DBC count (AFD-OFU): %s\n",
-              shift_shrinks ? "yes" : "NO");
-  std::printf("DMA-SR reduces total energy for every DBC count: %s\n",
-              dma_saves ? "yes" : "NO");
-  return 0;
-}
+int main() { return rtmp::benchtool::RunLegacyAlias("fig5_energy"); }

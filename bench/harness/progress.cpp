@@ -1,0 +1,20 @@
+#include "harness/progress.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace rtmp::benchtool {
+
+bool StderrIsTty() { return ::isatty(::fileno(stderr)) != 0; }
+
+sim::ProgressCallback StderrProgress() {
+  if (!StderrIsTty()) return {};
+  return [](const sim::RunResult&, std::size_t completed, std::size_t total) {
+    std::fprintf(stderr, "\r[%zu/%zu cells]%s", completed, total,
+                 completed == total ? "\n" : "");
+    std::fflush(stderr);
+  };
+}
+
+}  // namespace rtmp::benchtool

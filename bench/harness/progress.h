@@ -1,0 +1,19 @@
+// The ONE tty-aware progress helper for all bench tools. Every scenario
+// and bench binary streams matrix progress through StderrProgress() so
+// stdout stays clean for tables/JSON and the output is byte-stable when
+// piped (no binary re-implements the stderr/tty check).
+#pragma once
+
+#include "sim/experiment.h"
+
+namespace rtmp::benchtool {
+
+/// True when stderr is attached to a terminal.
+[[nodiscard]] bool StderrIsTty();
+
+/// Single-line progress meter on stderr. Returns an empty callback when
+/// stderr is not a terminal, so redirected logs and CI output are never
+/// spammed with carriage-return frames.
+[[nodiscard]] sim::ProgressCallback StderrProgress();
+
+}  // namespace rtmp::benchtool

@@ -1,0 +1,139 @@
+#include "harness/report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtmp::benchtool {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error("bench report: " + what);
+}
+
+}  // namespace
+
+std::string BenchReport::ToJson() const {
+  std::string out;
+  util::JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Member("schema_version", schema_version);
+  writer.Member("tool", "rtmbench");
+  writer.Member("scenario", scenario);
+  writer.Member("git_sha", git_sha);
+  writer.Member("search_effort", search_effort);
+  writer.Member("suite_seed", suite_seed);
+  writer.Member("search_seed", search_seed);
+  writer.Member("wall_s", wall_s);
+  writer.Key("cells");
+  writer.BeginArray();
+  for (const sim::RunResult& cell : cells) WriteJson(writer, cell);
+  writer.EndArray();
+  writer.Key("scalars");
+  writer.BeginArray();
+  for (const ScalarResult& scalar : scalars) {
+    writer.BeginObject();
+    writer.Member("name", scalar.name);
+    writer.Member("value", scalar.value);
+    if (!scalar.unit.empty()) writer.Member("unit", scalar.unit);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("checks");
+  writer.BeginArray();
+  for (const CheckResult& check : checks) {
+    writer.BeginObject();
+    writer.Member("name", check.name);
+    writer.Member("pass", check.pass);
+    if (check.fatal) writer.Member("fatal", true);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  out += "\n";
+  return out;
+}
+
+BenchReport BenchReport::FromJson(const util::JsonValue& value) {
+  BenchReport report;
+  report.schema_version = static_cast<int>(value.At("schema_version").AsInt());
+  if (report.schema_version != kBenchSchemaVersion) {
+    Fail("unsupported schema_version " +
+         std::to_string(report.schema_version) + " (this build reads v" +
+         std::to_string(kBenchSchemaVersion) + ")");
+  }
+  report.scenario = value.At("scenario").AsString();
+  report.git_sha = value.At("git_sha").AsString();
+  report.search_effort = value.At("search_effort").AsDouble();
+  report.suite_seed = value.At("suite_seed").AsUInt();
+  report.search_seed = value.At("search_seed").AsUInt();
+  report.wall_s = value.At("wall_s").AsDouble();
+  for (const util::JsonValue& cell : value.At("cells").Items()) {
+    report.cells.push_back(sim::RunResultFromJson(cell));
+  }
+  for (const util::JsonValue& scalar : value.At("scalars").Items()) {
+    ScalarResult result;
+    result.name = scalar.At("name").AsString();
+    result.value = scalar.At("value").AsDouble();
+    if (const util::JsonValue* unit = scalar.Find("unit")) {
+      result.unit = unit->AsString();
+    }
+    report.scalars.push_back(std::move(result));
+  }
+  for (const util::JsonValue& check : value.At("checks").Items()) {
+    CheckResult result;
+    result.name = check.At("name").AsString();
+    result.pass = check.At("pass").AsBool();
+    if (const util::JsonValue* fatal = check.Find("fatal")) {
+      result.fatal = fatal->AsBool();
+    }
+    report.checks.push_back(std::move(result));
+  }
+  return report;
+}
+
+BenchReport BenchReport::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return FromJson(util::JsonValue::Parse(buffer.str()));
+  } catch (const std::exception& error) {
+    Fail(path + ": " + error.what());
+  }
+}
+
+void BenchReport::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) Fail("cannot write " + path);
+  out << ToJson();
+  if (!out) Fail("write to " + path + " failed");
+}
+
+std::string CurrentGitSha() {
+  if (const char* sha = std::getenv("GITHUB_SHA");
+      sha != nullptr && *sha != '\0') {
+    return sha;
+  }
+  std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[128] = {};
+  const std::size_t n = std::fread(buffer, 1, sizeof buffer - 1, pipe);
+  const int status = ::pclose(pipe);
+  std::string sha(buffer, n);
+  while (!sha.empty() && std::isspace(static_cast<unsigned char>(sha.back()))) {
+    sha.pop_back();
+  }
+  if (status != 0 || sha.size() < 7) return "unknown";
+  for (const char c : sha) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return "unknown";
+  }
+  return sha;
+}
+
+}  // namespace rtmp::benchtool

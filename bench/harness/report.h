@@ -1,0 +1,79 @@
+// Schema-versioned JSON bench reports (the BENCH_<scenario>.json files).
+//
+// A report is everything one scenario run measured: the raw experiment
+// cells (sim::RunResult per benchmark x DBC count x strategy), named
+// scalar results (geomean improvements, headline numbers, ...) and the
+// scenario's shape checks — plus the metadata needed to interpret and
+// compare it (schema version, scenario name, git commit, search effort,
+// suite seed, wall time). Goldens under bench/golden/ are reports of this
+// exact format; bench/harness/compare.h diffs two of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/json.h"
+
+namespace rtmp::benchtool {
+
+/// Bump when the JSON layout changes incompatibly; the comparator
+/// refuses to diff reports of different schema versions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One pass/fail shape check of a scenario (e.g. "DMA-OFU >= AFD-OFU on
+/// geomean for every DBC count"). `fatal` checks fail the binary's exit
+/// code; plain checks only fail golden comparisons.
+struct CheckResult {
+  std::string name;
+  bool pass = false;
+  bool fatal = false;
+};
+
+/// One named scalar result (e.g. "fig4/geomean_dma_sr_over_ga/8dbc").
+/// Names containing "wall" are treated as wall-clock metrics by the
+/// comparator (machine-dependent, loose tolerance).
+struct ScalarResult {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct BenchReport {
+  int schema_version = kBenchSchemaVersion;
+  std::string scenario;
+  std::string git_sha = "unknown";
+  /// GA/RW effort the cells ran at; 0 when the scenario involves no
+  /// search strategy (such reports are comparable across any effort).
+  double search_effort = 0.0;
+  /// Suite seed the OffsetStone-lite traces were generated from
+  /// (offsetstone::GenerateSuite's seed; every cell depends on it).
+  std::uint64_t suite_seed = 0;
+  /// Base seed RunMatrix derived its per-cell GA/RW seeds from
+  /// (sim::ExperimentOptions::seed); 0 when the scenario ran no
+  /// experiment matrix. Scenario-local searches (ga_convergence,
+  /// ablation_dma) use fixed seeds declared in the scenario source.
+  std::uint64_t search_seed = 0;
+  /// Whole-scenario wall time (machine-dependent; never compared
+  /// strictly).
+  double wall_s = 0.0;
+  std::vector<sim::RunResult> cells;
+  std::vector<ScalarResult> scalars;
+  std::vector<CheckResult> checks;
+
+  [[nodiscard]] std::string ToJson() const;
+  /// Throws std::runtime_error on schema mismatch / malformed input.
+  [[nodiscard]] static BenchReport FromJson(const util::JsonValue& value);
+
+  /// File convenience wrappers around ToJson/FromJson; both throw
+  /// std::runtime_error on I/O errors.
+  [[nodiscard]] static BenchReport Load(const std::string& path);
+  void Save(const std::string& path) const;
+};
+
+/// The commit a report is produced at: $GITHUB_SHA when set (CI), else
+/// `git rev-parse HEAD`, else "unknown".
+[[nodiscard]] std::string CurrentGitSha();
+
+}  // namespace rtmp::benchtool

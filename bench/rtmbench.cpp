@@ -1,0 +1,254 @@
+// rtmbench — the unified reproduction/benchmark harness CLI.
+//
+//   rtmbench list                         show every scenario
+//   rtmbench run <scenario>... [flags]    run scenarios, write BENCH_*.json
+//   rtmbench check <scenario>...          run + compare against goldens
+//   rtmbench diff <a.json> <b.json>       diff two result files
+//
+// `run` flags:
+//   --check           compare each report against bench/golden/ and fail
+//                     on out-of-tolerance drift
+//   --update-golden   write each report to the golden directory
+//   --out-dir DIR     where BENCH_<scenario>.json goes (default: .)
+//   --golden-dir DIR  golden location (default: <source>/bench/golden,
+//                     overridable via RTMBENCH_GOLDEN_DIR)
+//   --no-json         skip writing BENCH_<scenario>.json
+//   --quiet           suppress the scenario's stdout report
+//
+// `run all` expands to every registered scenario. Exit codes: 0 ok,
+// 1 failed check/comparison, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/compare.h"
+#include "harness/report.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace rtmp;
+using namespace rtmp::benchtool;
+
+int Usage() {
+  std::fputs(
+      "usage:\n"
+      "  rtmbench list\n"
+      "  rtmbench run <scenario|all>... [--check] [--update-golden]\n"
+      "           [--out-dir DIR] [--golden-dir DIR] [--no-json] [--quiet]\n"
+      "  rtmbench check <scenario|all>... [--golden-dir DIR]\n"
+      "  rtmbench diff <golden.json> <current.json>\n"
+      "\nscenarios:\n",
+      stderr);
+  for (const auto& name : ScenarioRegistry::Global().Names()) {
+    const Scenario* scenario = ScenarioRegistry::Global().Find(name);
+    std::fprintf(stderr, "  %-22s %s\n", name.c_str(),
+                 scenario->summary.c_str());
+  }
+  return 2;
+}
+
+std::string DefaultGoldenDir() {
+  if (const char* dir = std::getenv("RTMBENCH_GOLDEN_DIR");
+      dir != nullptr && *dir != '\0') {
+    return dir;
+  }
+#ifdef RTMBENCH_SOURCE_DIR
+  return std::string(RTMBENCH_SOURCE_DIR) + "/bench/golden";
+#else
+  return "bench/golden";
+#endif
+}
+
+int CmdList() {
+  util::TextTable table;
+  table.SetHeader({"scenario", "effort-sensitive", "description"});
+  table.SetAlignments(
+      {util::Align::kLeft, util::Align::kLeft, util::Align::kLeft});
+  for (const auto& name : ScenarioRegistry::Global().Names()) {
+    const Scenario* scenario = ScenarioRegistry::Global().Find(name);
+    table.AddRow(
+        {name, scenario->uses_search ? "yes" : "no", scenario->summary});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  return 0;
+}
+
+struct RunFlags {
+  bool check = false;
+  bool update_golden = false;
+  bool write_json = true;
+  bool quiet = false;
+  std::string out_dir = ".";
+  std::string golden_dir = DefaultGoldenDir();
+};
+
+int RunScenarios(const std::vector<std::string>& names,
+                 const RunFlags& flags) {
+  // Validate every name up front: a typo must abort before any scenario
+  // runs (and before --update-golden overwrites anything).
+  for (const std::string& name : names) {
+    if (ScenarioRegistry::Global().Find(name) == nullptr) {
+      std::fprintf(stderr, "rtmbench: unknown scenario '%s'\n", name.c_str());
+      return 2;
+    }
+  }
+  int failures = 0;
+  for (const std::string& name : names) {
+    const Scenario* scenario = ScenarioRegistry::Global().Find(name);
+    if (!flags.quiet && names.size() > 1) {
+      std::printf("### %s\n\n", name.c_str());
+    }
+    const BenchReport report = RunScenario(*scenario, flags.quiet);
+    for (const CheckResult& check : report.checks) {
+      if (check.fatal && !check.pass) {
+        std::fprintf(stderr, "rtmbench: %s: fatal check failed: %s\n",
+                     name.c_str(), check.name.c_str());
+        ++failures;
+      }
+    }
+
+    const std::string json_name = "BENCH_" + name + ".json";
+    if (flags.write_json) {
+      std::filesystem::create_directories(flags.out_dir);
+      const std::string path = flags.out_dir + "/" + json_name;
+      report.Save(path);
+      std::fprintf(stderr, "rtmbench: wrote %s\n", path.c_str());
+    }
+    // Check BEFORE updating: with both flags, the comparison runs
+    // against the pre-existing golden (updating first would compare the
+    // report against itself and silently bless any regression).
+    if (flags.check) {
+      const std::string path = flags.golden_dir + "/" + json_name;
+      bool have_golden = false;
+      BenchReport golden;
+      try {
+        golden = BenchReport::Load(path);
+        have_golden = true;
+      } catch (const std::exception& error) {
+        if (flags.update_golden) {
+          std::fprintf(stderr, "rtmbench: %s: no golden yet, creating one\n",
+                       name.c_str());
+        } else {
+          std::fprintf(stderr,
+                       "rtmbench: %s: no usable golden (%s); run with "
+                       "--update-golden to create one\n",
+                       name.c_str(), error.what());
+          ++failures;
+        }
+      }
+      if (have_golden) {
+        const Comparison comparison = CompareReports(golden, report);
+        PrintComparison(stderr, comparison, /*verbose=*/false);
+        if (comparison.pass) {
+          std::fprintf(stderr,
+                       "rtmbench: %s: golden check PASSED (%zu cells, "
+                       "%zu scalars, %zu checks)\n",
+                       name.c_str(), golden.cells.size(),
+                       golden.scalars.size(), golden.checks.size());
+        } else {
+          std::fprintf(stderr, "rtmbench: %s: golden check FAILED\n",
+                       name.c_str());
+          ++failures;
+        }
+      }
+    }
+    if (flags.update_golden) {
+      std::filesystem::create_directories(flags.golden_dir);
+      const std::string path = flags.golden_dir + "/" + json_name;
+      report.Save(path);
+      std::fprintf(stderr, "rtmbench: updated golden %s\n", path.c_str());
+    }
+    if (!flags.quiet && names.size() > 1) std::printf("\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int CmdDiff(const std::string& golden_path, const std::string& current_path) {
+  const BenchReport golden = BenchReport::Load(golden_path);
+  const BenchReport current = BenchReport::Load(current_path);
+  const Comparison comparison = CompareReports(golden, current);
+  if (comparison.structural.empty() && comparison.diffs.empty()) {
+    std::printf("identical: %s == %s\n", golden_path.c_str(),
+                current_path.c_str());
+    return 0;
+  }
+  PrintComparison(stdout, comparison, /*verbose=*/true);
+  return comparison.pass ? 0 : 1;
+}
+
+std::vector<std::string> ExpandScenarioNames(
+    const std::vector<std::string>& args) {
+  std::vector<std::string> names;
+  for (const std::string& arg : args) {
+    if (arg == "all") {
+      for (const auto& name : ScenarioRegistry::Global().Names()) {
+        names.push_back(name);
+      }
+    } else {
+      names.push_back(arg);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return Usage();
+    const std::string command = argv[1];
+
+    if (command == "list") return CmdList();
+
+    if (command == "diff") {
+      if (argc != 4) return Usage();
+      return CmdDiff(argv[2], argv[3]);
+    }
+
+    if (command == "run" || command == "check") {
+      RunFlags flags;
+      if (command == "check") {
+        flags.check = true;
+        flags.write_json = false;
+        flags.quiet = true;
+      }
+      std::vector<std::string> scenario_args;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--check") {
+          flags.check = true;
+        } else if (arg == "--update-golden") {
+          flags.update_golden = true;
+        } else if (arg == "--no-json") {
+          flags.write_json = false;
+        } else if (arg == "--quiet") {
+          flags.quiet = true;
+        } else if (arg == "--out-dir" || arg == "--golden-dir") {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "rtmbench: %s requires a value\n",
+                         arg.c_str());
+            return Usage();
+          }
+          (arg == "--out-dir" ? flags.out_dir : flags.golden_dir) = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+          std::fprintf(stderr, "rtmbench: unknown flag '%s'\n", arg.c_str());
+          return Usage();
+        } else {
+          scenario_args.push_back(arg);
+        }
+      }
+      if (scenario_args.empty()) return Usage();
+      return RunScenarios(ExpandScenarioNames(scenario_args), flags);
+    }
+
+    return Usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "rtmbench: error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -108,7 +108,8 @@ int main(int argc, char** argv) {
                      options, /*compute_cost=*/false})
               .placement;
       const sim::SimulationResult r = sim::Simulate(seq, placement, config);
-      csv.WriteRow({s < file.sequence_names.size() && !file.sequence_names[s].empty()
+      csv.WriteRow({s < file.sequence_names.size() &&
+                            !file.sequence_names[s].empty()
                         ? file.sequence_names[s]
                         : "seq" + std::to_string(s),
                     name, std::to_string(r.stats.shifts),

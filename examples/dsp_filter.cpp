@@ -23,6 +23,7 @@
 #include "sim/simulator.h"
 #include "trace/access_sequence.h"
 #include "util/stats.h"
+#include "util/strings.h"
 #include "util/table.h"
 
 namespace {
@@ -37,10 +38,10 @@ AccessSequence SteadyFirTrace(std::size_t taps, std::size_t samples) {
   std::vector<VariableId> coeff(taps);
   std::vector<VariableId> delay(taps);
   for (std::size_t k = 0; k < taps; ++k) {
-    coeff[k] = seq.AddVariable("c" + std::to_string(k));
+    coeff[k] = seq.AddVariable(rtmp::util::Concat({"c", std::to_string(k)}));
   }
   for (std::size_t k = 0; k < taps; ++k) {
-    delay[k] = seq.AddVariable("z" + std::to_string(k));
+    delay[k] = seq.AddVariable(rtmp::util::Concat({"z", std::to_string(k)}));
   }
   const auto acc = seq.AddVariable("acc");
   const auto io = seq.AddVariable("io");
@@ -70,16 +71,18 @@ AccessSequence BlockFirTrace(std::size_t taps, std::size_t blocks,
   AccessSequence seq;
   std::vector<VariableId> coeff(taps);
   for (std::size_t k = 0; k < taps; ++k) {
-    coeff[k] = seq.AddVariable("c" + std::to_string(k));
+    coeff[k] = seq.AddVariable(rtmp::util::Concat({"c", std::to_string(k)}));
   }
   const auto acc = seq.AddVariable("acc");
   for (std::size_t b = 0; b < blocks; ++b) {
-    const std::string tag = "b" + std::to_string(b) + "_";
+    const std::string tag = rtmp::util::Concat({"b", std::to_string(b), "_"});
     std::vector<VariableId> in(block_len);
     std::vector<VariableId> out(block_len);
     for (std::size_t i = 0; i < block_len; ++i) {
-      in[i] = seq.AddVariable(tag + "in" + std::to_string(i));
-      out[i] = seq.AddVariable(tag + "out" + std::to_string(i));
+      in[i] =
+          seq.AddVariable(rtmp::util::Concat({tag, "in", std::to_string(i)}));
+      out[i] = seq.AddVariable(
+          rtmp::util::Concat({tag, "out", std::to_string(i)}));
     }
     // Load phase: DMA-in the block.
     for (std::size_t i = 0; i < block_len; ++i) {

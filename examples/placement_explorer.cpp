@@ -22,6 +22,7 @@
 #include "trace/liveliness.h"
 #include "trace/trace_io.h"
 #include "trace/variable_stats.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -37,7 +38,7 @@ int Usage() {
       "  placement_explorer export <benchmark> <file>    write it in trace "
       "format\n"
       "  placement_explorer place <trace> <strategy> <dbcs>\n"
-      "  placement_explorer compare <trace> <dbcs>\n"
+      "  placement_explorer compare <trace> <dbcs> [--json <file>]\n"
       "  placement_explorer strategies\n"
       "\nstrategies (from the registry):");
   for (const auto& name : core::RegisteredStrategyNames()) {
@@ -172,7 +173,8 @@ int CmdPlace(const std::string& path, const std::string& strategy_name,
   return 0;
 }
 
-int CmdCompare(const std::string& path, unsigned dbcs) {
+int CmdCompare(const std::string& path, unsigned dbcs,
+               const std::string& json_path) {
   const auto file = LoadTrace(path);
   core::StrategyOptions options;
   core::ScaleSearchEffort(options, 0.1);
@@ -180,6 +182,16 @@ int CmdCompare(const std::string& path, unsigned dbcs) {
   table.SetHeader({"strategy", "shifts", "runtime [us]", "energy [nJ]"});
   table.SetAlignments({util::Align::kLeft, util::Align::kRight,
                        util::Align::kRight, util::Align::kRight});
+  std::string json;
+  util::JsonWriter writer(&json);
+  writer.BeginObject();
+  writer.Member("schema_version", 1);
+  writer.Member("tool", "placement_explorer");
+  writer.Member("trace", path);
+  writer.Member("benchmark", file.benchmark);
+  writer.Member("dbcs", dbcs);
+  writer.Key("strategies");
+  writer.BeginArray();
   for (const char* name : {"afd-ofu", "afd-sr", "dma-ofu", "dma-chen",
                            "dma-sr", "dma-ge", "dma2-sr", "ga", "rw"}) {
     const auto strategy = core::StrategyRegistry::Global().Find(name);
@@ -201,11 +213,28 @@ int CmdCompare(const std::string& path, unsigned dbcs) {
       runtime += result.stats.runtime_ns;
       energy += result.energy.total_pj();
     }
+    writer.BeginObject();
+    writer.Member("strategy", name);
+    writer.Member("shifts", shifts);
+    writer.Member("runtime_ns", runtime);
+    writer.Member("energy_pj", energy);
+    writer.EndObject();
     table.AddRow({name, std::to_string(shifts),
                   util::FormatFixed(runtime / 1e3, 2),
                   util::FormatFixed(energy / 1e3, 2)});
   }
+  writer.EndArray();
+  writer.EndObject();
   std::fputs(table.Render().c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -224,7 +253,17 @@ int main(int argc, char** argv) {
                       static_cast<unsigned>(std::stoul(argv[4])));
     }
     if (argc >= 4 && std::string(argv[1]) == "compare") {
-      return CmdCompare(argv[2], static_cast<unsigned>(std::stoul(argv[3])));
+      std::string json_path;
+      for (int i = 4; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+          json_path = argv[++i];
+        } else {
+          std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+          return Usage();
+        }
+      }
+      return CmdCompare(argv[2], static_cast<unsigned>(std::stoul(argv[3])),
+                        json_path);
     }
     if (argc >= 2 && std::string(argv[1]) == "strategies") {
       return CmdStrategies();

@@ -16,6 +16,7 @@
 #include "core/inter_dma.h"
 #include "core/strategy_registry.h"
 #include "util/stats.h"
+#include "util/strings.h"
 #include "rtm/config.h"
 #include "sim/simulator.h"
 #include "trace/access_sequence.h"
@@ -33,18 +34,18 @@ rtmp::trace::AccessSequence MatmulTrace(std::size_t n, std::size_t tiles) {
   std::vector<rtmp::trace::VariableId> c(n * n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      c[i * n + j] =
-          seq.AddVariable("C" + std::to_string(i) + "_" + std::to_string(j));
+      c[i * n + j] = seq.AddVariable(rtmp::util::Concat(
+          {"C", std::to_string(i), "_", std::to_string(j)}));
     }
   }
   for (std::size_t t = 0; t < tiles; ++t) {
     // Per-tile operands: new variables each tile -> disjoint lifespans.
     std::vector<rtmp::trace::VariableId> a(n * n);
     std::vector<rtmp::trace::VariableId> b(n * n);
-    const std::string tag = "t" + std::to_string(t) + "_";
+    const std::string tag = rtmp::util::Concat({"t", std::to_string(t), "_"});
     for (std::size_t i = 0; i < n * n; ++i) {
-      a[i] = seq.AddVariable("A" + tag + std::to_string(i));
-      b[i] = seq.AddVariable("B" + tag + std::to_string(i));
+      a[i] = seq.AddVariable(rtmp::util::Concat({"A", tag, std::to_string(i)}));
+      b[i] = seq.AddVariable(rtmp::util::Concat({"B", tag, std::to_string(i)}));
     }
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < n; ++j) {

@@ -303,7 +303,8 @@ void CostEvaluator::RepriceDbc(std::uint32_t d) {
     if (edge.weight == 0) continue;
     const auto u = static_cast<VariableId>(edge.key >> 32);
     const auto v = static_cast<VariableId>(edge.key & 0xFFFFFFFFULL);
-    cost += edge.weight * OffsetDistance(offset_scratch_[u], offset_scratch_[v]);
+    cost += edge.weight *
+            OffsetDistance(offset_scratch_[u], offset_scratch_[v]);
   }
   if (first_pays_ && data.head != kNoPosition) {
     cost += PortDistance(offset_scratch_[var_of_[data.head]], port_);
@@ -367,7 +368,8 @@ void CostEvaluator::RebuildAll(const Placement& placement, bool with_weights) {
     data.cost = 0;
   }
   if (!single_port_) {
-    RecomputeMultiPort();  // DbcState replay path: bit-identical by construction
+    // DbcState replay path: bit-identical by construction.
+    RecomputeMultiPort();
   } else {
     constexpr std::int64_t kNoAccess = -1;
     last_off_scratch_.assign(dbcs_.size(), kNoAccess);

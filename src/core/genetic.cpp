@@ -235,8 +235,10 @@ GaResult RunGa(const trace::AccessSequence& seq, std::uint32_t num_dbcs,
     std::vector<Individual> offspring;
     offspring.reserve(options.lambda);
     while (offspring.size() < options.lambda) {
-      Individual a = population[Tournament(population, options.tournament_size, rng)];
-      Individual b = population[Tournament(population, options.tournament_size, rng)];
+      Individual a =
+          population[Tournament(population, options.tournament_size, rng)];
+      Individual b =
+          population[Tournament(population, options.tournament_size, rng)];
       if (n >= 2 && rng.NextBool(options.crossover_rate)) {
         auto f = static_cast<std::size_t>(rng.NextBelow(n));
         auto l = static_cast<std::size_t>(rng.NextBelow(n));

@@ -38,7 +38,9 @@ std::vector<VariableId> SelectDisjointVariables(
     std::uint64_t nested = 0;
     for (VariableId u = 0; u < stats.size(); ++u) {
       if (u == v || selected[u]) continue;
-      if (trace::LifespanNestedWithin(stats[u], sv)) nested += stats[u].frequency;
+      if (trace::LifespanNestedWithin(stats[u], sv)) {
+        nested += stats[u].frequency;
+      }
     }
     if (sv.frequency > nested) {
       selected[v] = true;

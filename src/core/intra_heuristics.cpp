@@ -324,7 +324,8 @@ std::vector<std::size_t> ShiftsReduceChain(const LocalProblem& local) {
       front_terms.push_back({coord[e.neighbor] - front_coord, e.weight});
       back_terms.push_back({back_coord - coord[e.neighbor], e.weight});
     }
-    const bool to_front = discounted_sum(front_terms) > discounted_sum(back_terms);
+    const bool to_front =
+        discounted_sum(front_terms) > discounted_sum(back_terms);
     coord[v] = to_front ? --front_coord : ++back_coord;
     in_chain[v] = 1;
     return to_front;
@@ -335,7 +336,9 @@ std::vector<std::size_t> ShiftsReduceChain(const LocalProblem& local) {
   const std::size_t n = chain.size();
   if (n < 2) return chain;
   std::vector<std::int64_t> pos(n, 0);
-  for (std::size_t i = 0; i < n; ++i) pos[chain[i]] = static_cast<std::int64_t>(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[chain[i]] = static_cast<std::int64_t>(i);
+  }
 
   auto swap_delta = [&](std::size_t p) {
     // Swapping chain[p] (u) and chain[p+1] (w).

@@ -15,7 +15,8 @@ MultiDmaResult DistributeMultiDma(const trace::AccessSequence& seq,
   const std::size_t n = seq.num_variables();
   if (capacity != kUnboundedCapacity &&
       static_cast<std::uint64_t>(num_dbcs) * capacity < n) {
-    throw std::invalid_argument("DistributeMultiDma: variables exceed capacity");
+    throw std::invalid_argument(
+        "DistributeMultiDma: variables exceed capacity");
   }
   const auto stats = trace::ComputeVariableStats(seq);
 

@@ -25,7 +25,8 @@ std::string_view InterName(InterPolicy inter) {
 
 std::string ToString(const StrategySpec& spec) {
   std::string name(InterName(spec.inter));
-  if (spec.inter == InterPolicy::kGa || spec.inter == InterPolicy::kRandomWalk) {
+  if (spec.inter == InterPolicy::kGa ||
+      spec.inter == InterPolicy::kRandomWalk) {
     return name;
   }
   name += '-';

@@ -166,7 +166,8 @@ trace::AccessSequence GenerateOne(const BenchmarkProfile& profile,
       p.num_phases = std::max<std::size_t>(2, target_vars / 12);
       p.num_globals = std::min<std::size_t>(3, target_vars / 8);
       p.vars_per_phase =
-          std::max<std::size_t>(2, (target_vars - p.num_globals) / p.num_phases);
+          std::max<std::size_t>(2,
+                                (target_vars - p.num_globals) / p.num_phases);
       p.accesses_per_phase =
           std::max<std::size_t>(4, target_len / p.num_phases);
       p.global_access_prob = 0.05 + 0.1 * rng.NextDouble();

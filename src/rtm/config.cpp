@@ -27,7 +27,8 @@ std::vector<std::uint32_t> RtmConfig::EffectivePortOffsets() const {
 
 void RtmConfig::Validate() const {
   if (banks == 0 || subarrays_per_bank == 0 || dbcs_per_subarray == 0) {
-    throw std::invalid_argument("RtmConfig: bank/subarray/DBC counts must be positive");
+    throw std::invalid_argument(
+        "RtmConfig: bank/subarray/DBC counts must be positive");
   }
   if (tracks_per_dbc == 0) {
     throw std::invalid_argument("RtmConfig: tracks_per_dbc must be positive");

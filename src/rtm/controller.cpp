@@ -50,7 +50,8 @@ std::vector<RequestTiming> RtmController::Execute(
         known_ns = std::max(known_ns, channel_free_ns_);
       } else if (i >= controller_.lookahead) {
         known_ns =
-            std::max(known_ns, timings[i - controller_.lookahead].access_start_ns);
+            std::max(known_ns,
+                     timings[i - controller_.lookahead].access_start_ns);
       }
       timing.shift_start_ns = std::max(dbc_free_ns_[request.dbc], known_ns);
       const double shift_done = timing.shift_start_ns + shift_time;
@@ -59,7 +60,8 @@ std::vector<RequestTiming> RtmController::Execute(
       timing.finish_ns = timing.access_start_ns + access_time;
       timing.hidden_shift_ns =
           shift_time - std::max(0.0, shift_done - channel_free_ns_);
-      timing.hidden_shift_ns = std::clamp(timing.hidden_shift_ns, 0.0, shift_time);
+      timing.hidden_shift_ns =
+          std::clamp(timing.hidden_shift_ns, 0.0, shift_time);
       channel_free_ns_ = timing.finish_ns;
       dbc_free_ns_[request.dbc] = timing.finish_ns;
       // Shifts occupy the DBC, not the shared channel: only the access

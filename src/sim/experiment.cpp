@@ -73,6 +73,45 @@ unsigned ThreadCountFromEnv(unsigned fallback) {
   return static_cast<unsigned>(value);
 }
 
+void WriteJson(util::JsonWriter& writer, const RunResult& result) {
+  writer.BeginObject();
+  writer.Member("benchmark", result.benchmark);
+  writer.Member("dbcs", result.dbcs);
+  writer.Member("strategy", result.strategy_name);
+  writer.Member("shifts", result.metrics.shifts);
+  writer.Member("accesses", result.metrics.accesses);
+  writer.Member("runtime_ns", result.metrics.runtime_ns);
+  writer.Member("leakage_pj", result.metrics.leakage_pj);
+  writer.Member("read_write_pj", result.metrics.read_write_pj);
+  writer.Member("shift_pj", result.metrics.shift_pj);
+  writer.Member("area_mm2", result.metrics.area_mm2);
+  writer.Member("placement_cost", result.placement_cost);
+  writer.Member("placement_wall_ms", result.placement_wall_ms);
+  writer.Member("search_evaluations",
+                static_cast<std::uint64_t>(result.search_evaluations));
+  writer.EndObject();
+}
+
+RunResult RunResultFromJson(const util::JsonValue& value) {
+  RunResult result;
+  result.benchmark = value.At("benchmark").AsString();
+  result.dbcs = static_cast<unsigned>(value.At("dbcs").AsUInt());
+  result.strategy_name = value.At("strategy").AsString();
+  result.strategy = core::ParseStrategy(result.strategy_name);
+  result.metrics.shifts = value.At("shifts").AsUInt();
+  result.metrics.accesses = value.At("accesses").AsUInt();
+  result.metrics.runtime_ns = value.At("runtime_ns").AsDouble();
+  result.metrics.leakage_pj = value.At("leakage_pj").AsDouble();
+  result.metrics.read_write_pj = value.At("read_write_pj").AsDouble();
+  result.metrics.shift_pj = value.At("shift_pj").AsDouble();
+  result.metrics.area_mm2 = value.At("area_mm2").AsDouble();
+  result.placement_cost = value.At("placement_cost").AsUInt();
+  result.placement_wall_ms = value.At("placement_wall_ms").AsDouble();
+  result.search_evaluations =
+      static_cast<std::size_t>(value.At("search_evaluations").AsUInt());
+  return result;
+}
+
 RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
                   std::string_view strategy_name,
                   const ExperimentOptions& options) {
@@ -252,7 +291,8 @@ std::vector<double> ResultTable::NormalizedShifts(
     const double base = static_cast<double>(At(b, dbcs, baseline).shifts);
     // A zero-shift baseline (degenerate tiny benchmark) normalizes to 1:
     // both strategies are optimal there.
-    normalized.push_back(base == 0.0 ? (value == 0.0 ? 1.0 : value) : value / base);
+    normalized.push_back(base == 0.0 ? (value == 0.0 ? 1.0 : value)
+                                     : value / base);
   }
   return normalized;
 }

@@ -24,6 +24,7 @@
 #include "rtm/config.h"
 #include "rtm/energy_model.h"
 #include "sim/simulator.h"
+#include "util/json.h"
 
 namespace rtmp::sim {
 
@@ -63,6 +64,15 @@ struct RunResult {
   /// Candidate placements the strategy evaluated (search effort used).
   std::size_t search_evaluations = 0;
 };
+
+/// Serializes one cell as a JSON object (the element type of the bench
+/// harness' "cells" array; see bench/harness/report.h for the schema).
+/// Emits `strategy` by registry name only — the enum spec is restored on
+/// the way back via core::ParseStrategy.
+void WriteJson(util::JsonWriter& writer, const RunResult& result);
+
+/// Inverse of WriteJson; throws std::runtime_error on schema mismatch.
+[[nodiscard]] RunResult RunResultFromJson(const util::JsonValue& value);
 
 /// Called after each finished cell. `completed` counts finished cells so
 /// far, `total` the whole grid. Invoked under a lock, so the callback may

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/strings.h"
+
 namespace rtmp::trace {
 
 namespace {
@@ -97,7 +99,8 @@ AccessSequence GenerateMarkov(const MarkovParams& params, util::Rng& rng) {
         params.locality_window > 0) {
       // Jump to a nearby id (wrapping), modelling basic-block locality.
       const auto offset = static_cast<std::int64_t>(
-          rng.NextInRange(1, static_cast<std::int64_t>(params.locality_window)));
+          rng.NextInRange(
+              1, static_cast<std::int64_t>(params.locality_window)));
       const bool forward = rng.NextBool(0.5);
       const auto n = static_cast<std::int64_t>(params.num_vars);
       std::int64_t next = static_cast<std::int64_t>(current) +
@@ -150,7 +153,7 @@ AccessSequence GenerateSequential(const SequentialParams& params,
   // introduction order.
   AccessSequence seq;
   for (std::size_t g = 0; g < params.num_globals; ++g) {
-    seq.AddVariable("g" + std::to_string(g));
+    seq.AddVariable(util::Concat({"g", std::to_string(g)}));
   }
   for (std::size_t i = 0; i < params.num_vars; ++i) {
     seq.AddVariable(MakeVariableName(i));

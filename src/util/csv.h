@@ -18,7 +18,8 @@ namespace rtmp::util {
 /// Streaming CSV writer. Owns no buffer; rows go straight to the ostream.
 class CsvWriter {
  public:
-  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+  explicit CsvWriter(std::ostream& out, char sep = ',')
+      : out_(out), sep_(sep) {}
 
   /// Writes one row; fields are escaped as needed.
   void WriteRow(const std::vector<std::string>& fields);

@@ -1,0 +1,492 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <system_error>
+
+namespace rtmp::util {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error("json: " + what);
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, value);
+  if (ec != std::errc()) Fail("number formatting failed");
+  // to_chars emits the shortest round-trip form; "1e+25" and "1.5" are
+  // both valid JSON, but a bare "nan"/"inf" never reaches here.
+  return std::string(buffer, end);
+}
+
+// ---- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::Prefix(bool is_key) {
+  if (stack_.empty()) return;
+  Level& level = stack_.back();
+  if (level.is_object && !is_key) {
+    // Value following its Key(): no separator, Key() already emitted it.
+    if (!level.expects_value) {
+      Fail("value emitted inside an object without a preceding Key()");
+    }
+    level.expects_value = false;
+    return;
+  }
+  if (level.is_object && level.expects_value) {
+    Fail("Key() called while the previous key still awaits its value");
+  }
+  if (level.has_members) Raw(",");
+  level.has_members = true;
+  if (indent_ > 0) {
+    Raw("\n");
+    out_->append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Prefix(false);
+  Raw("{");
+  stack_.push_back({/*is_object=*/true});
+}
+
+void JsonWriter::EndObject() {
+  if (stack_.empty() || !stack_.back().is_object) {
+    Fail("EndObject without a matching BeginObject");
+  }
+  if (stack_.back().expects_value) {
+    Fail("EndObject while the last key still awaits its value");
+  }
+  const bool had_members = stack_.back().has_members;
+  stack_.pop_back();
+  if (indent_ > 0 && had_members) {
+    Raw("\n");
+    out_->append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+  }
+  Raw("}");
+}
+
+void JsonWriter::BeginArray() {
+  Prefix(false);
+  Raw("[");
+  stack_.push_back({/*is_object=*/false});
+}
+
+void JsonWriter::EndArray() {
+  if (stack_.empty() || stack_.back().is_object) {
+    Fail("EndArray without a matching BeginArray");
+  }
+  const bool had_members = stack_.back().has_members;
+  stack_.pop_back();
+  if (indent_ > 0 && had_members) {
+    Raw("\n");
+    out_->append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+  }
+  Raw("]");
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (stack_.empty() || !stack_.back().is_object) {
+    Fail("Key() outside an object");
+  }
+  Prefix(true);
+  Raw("\"");
+  Raw(JsonEscape(key));
+  Raw(indent_ > 0 ? "\": " : "\":");
+  if (!stack_.empty()) stack_.back().expects_value = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Prefix(false);
+  Raw("\"");
+  Raw(JsonEscape(value));
+  Raw("\"");
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  Prefix(false);
+  Raw(std::to_string(value));
+}
+
+void JsonWriter::UInt(std::uint64_t value) {
+  Prefix(false);
+  Raw(std::to_string(value));
+}
+
+void JsonWriter::Double(double value) {
+  Prefix(false);
+  Raw(JsonNumber(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  Prefix(false);
+  Raw(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Prefix(false);
+  Raw("null");
+}
+
+// ---- JsonValue accessors ---------------------------------------------------
+
+bool JsonValue::AsBool() const {
+  if (kind_ != Kind::kBool) Fail("value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ == Kind::kNull) return std::numeric_limits<double>::quiet_NaN();
+  if (kind_ != Kind::kNumber) Fail("value is not a number");
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  if (ec != std::errc() || end != text_.data() + text_.size()) {
+    Fail("bad number '" + text_ + "'");
+  }
+  return value;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  if (kind_ != Kind::kNumber) Fail("value is not a number");
+  std::int64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  if (ec != std::errc() || end != text_.data() + text_.size()) {
+    Fail("number '" + text_ + "' is not a 64-bit integer");
+  }
+  return value;
+}
+
+std::uint64_t JsonValue::AsUInt() const {
+  if (kind_ != Kind::kNumber) Fail("value is not a number");
+  std::uint64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  if (ec != std::errc() || end != text_.data() + text_.size()) {
+    Fail("number '" + text_ + "' is not an unsigned 64-bit integer");
+  }
+  return value;
+}
+
+const std::string& JsonValue::AsString() const {
+  if (kind_ != Kind::kString) Fail("value is not a string");
+  return text_;
+}
+
+const std::vector<JsonValue>& JsonValue::Items() const {
+  if (kind_ != Kind::kArray) Fail("value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::Members()
+    const {
+  if (kind_ != Kind::kObject) Fail("value is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) Fail("value is not an object");
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) Fail("missing member '" + std::string(key) + "'");
+  return *value;
+}
+
+// ---- parser ----------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue(0);
+    SkipWhitespace();
+    if (pos_ != text_.size()) Error("trailing garbage");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Error(const std::string& what) const {
+    Fail(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Error("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue ParseValue(int depth) {
+    if (depth > kMaxDepth) Error("nesting too deep");
+    SkipWhitespace();
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::kString;
+        value.text_ = ParseString();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::kBool;
+        if (Consume("true")) {
+          value.bool_ = true;
+        } else if (Consume("false")) {
+          value.bool_ = false;
+        } else {
+          Error("bad literal");
+        }
+        return value;
+      }
+      case 'n':
+        if (!Consume("null")) Error("bad literal");
+        return JsonValue{};
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject(int depth) {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kObject;
+    Expect('{');
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      value.members_.emplace_back(std::move(key), ParseValue(depth + 1));
+      SkipWhitespace();
+      const char c = Peek();
+      ++pos_;
+      if (c == '}') return value;
+      if (c != ',') Error("expected ',' or '}'");
+    }
+  }
+
+  JsonValue ParseArray(int depth) {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kArray;
+    Expect('[');
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.items_.push_back(ParseValue(depth + 1));
+      SkipWhitespace();
+      const char c = Peek();
+      ++pos_;
+      if (c == ']') return value;
+      if (c != ',') Error("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) Error("raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u':
+          AppendUnicodeEscape(out);
+          break;
+        default:
+          Error("bad escape");
+      }
+    }
+  }
+
+  std::uint32_t ParseHex4() {
+    if (pos_ + 4 > text_.size()) Error("truncated \\u escape");
+    std::uint32_t value = 0;
+    const auto [end, ec] = std::from_chars(
+        text_.data() + pos_, text_.data() + pos_ + 4, value, 16);
+    if (ec != std::errc() || end != text_.data() + pos_ + 4) {
+      Error("bad \\u escape");
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  /// Decodes \uXXXX (with surrogate pairs) to UTF-8.
+  void AppendUnicodeEscape(std::string& out) {
+    std::uint32_t code = ParseHex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (!Consume("\\u")) Error("unpaired surrogate");
+      const std::uint32_t low = ParseHex4();
+      if (low < 0xDC00 || low > 0xDFFF) Error("bad low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      Error("unpaired surrogate");
+    }
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      Error("bad value");
+    }
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kNumber;
+    value.text_ = std::string(text_.substr(start, pos_ - start));
+    // Validate eagerly so malformed numbers fail at parse time, not at
+    // first access.
+    (void)value.AsDouble();
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+}  // namespace rtmp::util

@@ -1,0 +1,154 @@
+// Minimal JSON emission and parsing for benchmark results and goldens.
+//
+// The writer streams RFC 8259 JSON with optional pretty-printing; the
+// value type is a small DOM whose numbers keep their source text so that
+// 64-bit counters (shift counts, evaluation counts) round-trip exactly
+// instead of being squeezed through a double. Both sides cover exactly
+// the JSON subset the bench harness emits — objects, arrays, strings,
+// numbers, booleans and null — with full string escaping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rtmp::util {
+
+/// Escapes `text` for use inside a JSON string literal (without the
+/// surrounding quotes): backslash, quote and control characters.
+[[nodiscard]] std::string JsonEscape(std::string_view text);
+
+/// Formats a double as a JSON number with round-trip precision.
+/// Non-finite values (which JSON cannot represent) render as null.
+[[nodiscard]] std::string JsonNumber(double value);
+
+/// Streaming JSON writer. Nesting, commas and indentation are handled
+/// internally; the caller emits Begin/End pairs, keys and values in
+/// document order. With indent == 0 the output is compact. Misuse — a
+/// value without a Key() inside an object, two Key() calls in a row,
+/// Key() outside an object, or an unbalanced/mismatched End — throws
+/// std::runtime_error instead of emitting invalid JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out, int indent = 2)
+      : out_(out), indent_(indent) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the key of the next object member.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void UInt(std::uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Key/value conveniences for flat object members.
+  void Member(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void Member(std::string_view key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void Member(std::string_view key, std::int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void Member(std::string_view key, std::uint64_t value) {
+    Key(key);
+    UInt(value);
+  }
+  void Member(std::string_view key, int value) {
+    Key(key);
+    Int(value);
+  }
+  void Member(std::string_view key, unsigned value) {
+    Key(key);
+    UInt(value);
+  }
+  void Member(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void Member(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+ private:
+  /// Writes the separator (comma, newline, indent) owed before a value
+  /// or key at the current nesting depth.
+  void Prefix(bool is_key);
+  void Raw(std::string_view text) { out_->append(text); }
+
+  struct Level {
+    bool is_object = false;
+    bool has_members = false;
+    bool expects_value = false;  ///< object level: Key() seen, value owed
+  };
+
+  std::string* out_;
+  int indent_;
+  std::vector<Level> stack_;
+};
+
+/// Parsed JSON value. Numbers keep their raw text; AsUInt/AsInt/AsDouble
+/// convert on demand (throwing std::runtime_error on range/kind errors,
+/// like every other accessor here).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (throws std::runtime_error with an offset
+  /// on malformed input or trailing garbage).
+  [[nodiscard]] static JsonValue Parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  [[nodiscard]] bool AsBool() const;
+  /// Numbers convert normally; null reads back as NaN (the writer's
+  /// encoding of non-finite doubles, see JsonNumber) so a report
+  /// containing one is still loadable. Any other kind throws.
+  [[nodiscard]] double AsDouble() const;
+  [[nodiscard]] std::int64_t AsInt() const;
+  [[nodiscard]] std::uint64_t AsUInt() const;
+  [[nodiscard]] const std::string& AsString() const;
+
+  /// Array elements (throws unless is_array()).
+  [[nodiscard]] const std::vector<JsonValue>& Items() const;
+
+  /// Object members in document order (throws unless is_object()).
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& Members()
+      const;
+
+  /// Object member lookup; nullptr when absent (throws unless is_object()).
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+
+  /// Object member lookup; throws when absent.
+  [[nodiscard]] const JsonValue& At(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  /// String payload for kString; raw number text for kNumber.
+  std::string text_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace rtmp::util

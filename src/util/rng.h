@@ -56,11 +56,13 @@ class Rng {
 
   /// Index drawn proportionally to the non-negative weights. Requires a
   /// non-empty span with a positive total weight.
-  [[nodiscard]] std::size_t NextWeighted(std::span<const double> weights) noexcept;
+  [[nodiscard]] std::size_t NextWeighted(
+      std::span<const double> weights) noexcept;
 
   /// Geometric-like draw: number of failures before first success with
   /// probability p in (0,1]; capped at `cap`.
-  [[nodiscard]] std::uint64_t NextGeometric(double p, std::uint64_t cap) noexcept;
+  [[nodiscard]] std::uint64_t NextGeometric(double p,
+                                            std::uint64_t cap) noexcept;
 
   /// Zipf-distributed rank in [0, n) with exponent s >= 0 (s = 0 is uniform).
   /// Uses an inverse-CDF table-free rejection sampler good enough for

@@ -53,12 +53,24 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
 
 std::string ToLower(std::string_view text) {
   std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
 bool StartsWith(std::string_view text, std::string_view prefix) noexcept {
-  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string Concat(std::initializer_list<std::string_view> parts) {
+  std::size_t size = 0;
+  for (const std::string_view part : parts) size += part.size();
+  std::string out;
+  out.reserve(size);
+  for (const std::string_view part : parts) out.append(part);
+  return out;
 }
 
 }  // namespace rtmp::util

@@ -1,6 +1,7 @@
 // String helpers shared by the trace parser and report code.
 #pragma once
 
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,5 +27,11 @@ namespace rtmp::util {
 /// True if `text` begins with `prefix`.
 [[nodiscard]] bool StartsWith(std::string_view text,
                               std::string_view prefix) noexcept;
+
+/// Single-allocation concatenation. Preferred over chained operator+ for
+/// generated names ("v" + std::to_string(i)): one allocation instead of
+/// one per +, and immune to GCC 12's -Wrestrict false positive on
+/// char* + std::string&& under -O3 (PR 105329).
+[[nodiscard]] std::string Concat(std::initializer_list<std::string_view> parts);
 
 }  // namespace rtmp::util

@@ -318,7 +318,8 @@ TEST(CostEvaluator, HandlesPlacementsWithMoreVariablesThanTheSequence) {
   Placement p = Placement::FromLists({{0, 3, 1, 4}, {2}}, 5);
   evaluator.Bind(p);
   EXPECT_EQ(evaluator.Cost(), ShiftCost(seq, p));
-  EXPECT_EQ(evaluator.PeekTranspose(0, 0, 2), evaluator.ApplyTranspose(0, 0, 2));
+  EXPECT_EQ(evaluator.PeekTranspose(0, 0, 2),
+            evaluator.ApplyTranspose(0, 0, 2));
   p.Transpose(0, 0, 2);
   EXPECT_EQ(evaluator.Cost(), ShiftCost(seq, p));
   // Moving an unaccessed variable shifts the offsets of accessed ones.

@@ -8,6 +8,7 @@
 #include "core/cost_model.h"
 #include "core/strategy_registry.h"
 #include "sim/experiment.h"
+#include "util/strings.h"
 
 namespace rtmp::sim {
 namespace {
@@ -58,7 +59,7 @@ TEST(Experiment, ResultTableLooksUpCells) {
   const auto& metrics =
       table.At("one", 2, {core::InterPolicy::kAfd, core::IntraHeuristic::kOfu});
   EXPECT_EQ(metrics.accesses, 6u);
-  EXPECT_THROW(table.At("missing", 2, options.strategies[0]),
+  EXPECT_THROW((void)table.At("missing", 2, options.strategies[0]),
                std::out_of_range);
 }
 
@@ -94,7 +95,7 @@ TEST(Experiment, OversizedSequenceWidensTheDevice) {
   big.name = "big";
   trace::AccessSequence seq;
   for (int i = 0; i < 1100; ++i) {
-    seq.AddVariable("v" + std::to_string(i));
+    seq.AddVariable(util::Concat({"v", std::to_string(i)}));
   }
   for (int i = 0; i < 1100; ++i) {
     seq.Append(static_cast<trace::VariableId>(i));
@@ -204,7 +205,8 @@ class ReverseIdStrategy final : public core::PlacementStrategy {
  public:
   const core::StrategyInfo& Describe() const noexcept override {
     static const core::StrategyInfo info{
-        "rev-id", "descending-id round-robin deal (test strategy)"};
+        "rev-id", "descending-id round-robin deal (test strategy)",
+        /*search_based=*/false, /*spec=*/{}};
     return info;
   }
 
