@@ -6,6 +6,7 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   // `smoke` first: it is the CI entry point and the first thing `list`
   // should show. The rest follow the paper's presentation order.
   scenarios::RegisterSmoke(registry);
+  scenarios::RegisterWorkloadsSmoke(registry);
   scenarios::RegisterTable1DeviceParams(registry);
   scenarios::RegisterFig3Example(registry);
   scenarios::RegisterFig4Shifts(registry);

@@ -1,14 +1,19 @@
 // placement_explorer — a small command-line driver over the whole library.
 //
 //   $ ./placement_explorer                          # demo + help
-//   $ ./placement_explorer suite gsm                # inspect a suite entry
+//   $ ./placement_explorer suite gsm                # inspect a workload
 //   $ ./placement_explorer export gsm gsm.trace     # write it as a trace
+//   $ ./placement_explorer export gsm gsm.rtb      # ... or binary format
+//   $ ./placement_explorer place kv-churn dma-sr 4
 //   $ ./placement_explorer place file.trace dma-sr 4
-//   $ ./placement_explorer compare file.trace 8
+//   $ ./placement_explorer compare stencil 8 --json out.json
+//   $ ./placement_explorer strategies --json strategies.json
+//   $ ./placement_explorer workloads
 //
 // This is what a user integrating rtmplace into their own flow would
-// script against: generate or load traces, pick a strategy, inspect the
-// resulting layout and costs.
+// script against: pick a workload (any registered name or an external
+// trace file, text or binary), pick a strategy, inspect the resulting
+// layout and costs.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -21,10 +26,13 @@
 #include "sim/simulator.h"
 #include "trace/liveliness.h"
 #include "trace/trace_io.h"
+#include "trace/trace_stream.h"
 #include "trace/variable_stats.h"
 #include "util/json.h"
 #include "util/stats.h"
+#include "util/strings.h"
 #include "util/table.h"
+#include "workloads/workload.h"
 
 namespace {
 
@@ -33,45 +41,112 @@ using namespace rtmp;
 int Usage() {
   std::printf(
       "usage:\n"
-      "  placement_explorer suite <benchmark>            inspect a "
-      "generated suite benchmark\n"
-      "  placement_explorer export <benchmark> <file>    write it in trace "
-      "format\n"
-      "  placement_explorer place <trace> <strategy> <dbcs>\n"
-      "  placement_explorer compare <trace> <dbcs> [--json <file>]\n"
-      "  placement_explorer strategies\n"
+      "  placement_explorer suite <workload>             inspect a "
+      "workload's sequences\n"
+      "  placement_explorer export <workload> <file>     write it in trace "
+      "format (.rtb = binary)\n"
+      "  placement_explorer place <workload> <strategy> <dbcs>\n"
+      "  placement_explorer compare <workload> <dbcs> [--json <file>]\n"
+      "  placement_explorer strategies [--json <file>]\n"
+      "  placement_explorer workloads [--json <file>]\n"
+      "\n<workload> is a registered workload name or a trace-file path "
+      "(text or binary).\n"
       "\nstrategies (from the registry):");
   for (const auto& name : core::RegisteredStrategyNames()) {
     std::printf(" %s", name.c_str());
   }
-  std::printf("\nsuite benchmarks:");
-  for (const auto& profile : offsetstone::SuiteProfiles()) {
-    std::printf(" %s", profile.name.c_str());
+  std::printf("\nworkloads (from the registry):");
+  for (const auto& name : workloads::WorkloadRegistry::Global().Names()) {
+    std::printf(" %s", name.c_str());
   }
   std::printf("\n");
   return 2;
 }
 
-/// `strategies` subcommand: one line per registered strategy, straight
-/// from the registry metadata.
-int CmdStrategies() {
-  auto& registry = core::StrategyRegistry::Global();
+/// One row of a registry listing: name, one registry-specific attribute,
+/// and the one-line summary.
+struct RegistryRow {
+  std::string name;
+  std::string attribute;
+  std::string summary;
+};
+
+/// Shared body of the `strategies` and `workloads` subcommands: renders
+/// the rows as a table on stdout and, when `json_path` is non-empty,
+/// writes the same listing as JSON (schema shared with `compare --json`).
+int ListRegistry(const char* registry, const char* attribute_label,
+                 const char* attribute_key,
+                 const std::vector<RegistryRow>& rows,
+                 const std::string& json_path) {
   util::TextTable table;
-  table.SetHeader({"name", "search-based", "description"});
+  table.SetHeader({"name", attribute_label, "description"});
   table.SetAlignments(
       {util::Align::kLeft, util::Align::kLeft, util::Align::kLeft});
-  for (const auto& name : registry.Names()) {
-    const auto info = registry.Describe(name);
-    table.AddRow({name, info->search_based ? "yes" : "no", info->summary});
+  for (const RegistryRow& row : rows) {
+    table.AddRow({row.name, row.attribute, row.summary});
   }
   std::fputs(table.Render().c_str(), stdout);
+  if (json_path.empty()) return 0;
+
+  std::string json;
+  util::JsonWriter writer(&json);
+  writer.BeginObject();
+  writer.Member("schema_version", 1);
+  writer.Member("tool", "placement_explorer");
+  writer.Member("registry", registry);
+  writer.Key("entries");
+  writer.BeginArray();
+  for (const RegistryRow& row : rows) {
+    writer.BeginObject();
+    writer.Member("name", row.name);
+    writer.Member(attribute_key, row.attribute);
+    writer.Member("summary", row.summary);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << json << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }
 
-trace::TraceFile LoadTrace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
-  return trace::ReadTrace(in);
+int CmdStrategies(const std::string& json_path) {
+  auto& registry = core::StrategyRegistry::Global();
+  std::vector<RegistryRow> rows;
+  for (const auto& name : registry.Names()) {
+    const auto info = registry.Describe(name);
+    rows.push_back({name, info->search_based ? "yes" : "no", info->summary});
+  }
+  return ListRegistry("strategies", "search-based", "search_based", rows,
+                      json_path);
+}
+
+int CmdWorkloads(const std::string& json_path) {
+  auto& registry = workloads::WorkloadRegistry::Global();
+  std::vector<RegistryRow> rows;
+  for (const auto& name : registry.Names()) {
+    const auto info = registry.Describe(name);
+    rows.push_back({name, info->family, info->summary});
+  }
+  return ListRegistry("workloads", "family", "family", rows, json_path);
+}
+
+/// Resolves a workload spec (registry name or trace-file path) and
+/// materializes it at default seed/scale.
+offsetstone::Benchmark LoadBenchmark(const std::string& spec) {
+  const auto workload = workloads::ResolveWorkload(spec);
+  if (!workload) {
+    throw std::runtime_error(
+        "'" + spec +
+        "' is neither a registered workload (try `placement_explorer "
+        "workloads`) nor a trace file");
+  }
+  return workload->Generate({});
 }
 
 void DescribeSequence(const trace::AccessSequence& seq, const char* name) {
@@ -90,13 +165,8 @@ void DescribeSequence(const trace::AccessSequence& seq, const char* name) {
       static_cast<unsigned long long>(trace::CountDisjointPairs(stats)));
 }
 
-int CmdSuite(const std::string& name) {
-  const auto profile = offsetstone::FindProfile(name);
-  if (!profile) {
-    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
-    return 1;
-  }
-  const auto benchmark = offsetstone::Generate(*profile);
+int CmdSuite(const std::string& spec) {
+  const auto benchmark = LoadBenchmark(spec);
   std::printf("benchmark %s (%zu sequences):\n", benchmark.name.c_str(),
               benchmark.sequences.size());
   for (std::size_t i = 0; i < benchmark.sequences.size(); ++i) {
@@ -106,31 +176,37 @@ int CmdSuite(const std::string& name) {
   return 0;
 }
 
-int CmdExport(const std::string& name, const std::string& path) {
-  const auto profile = offsetstone::FindProfile(name);
-  if (!profile) {
-    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
-    return 1;
-  }
-  const auto benchmark = offsetstone::Generate(*profile);
+int CmdExport(const std::string& spec, const std::string& path) {
   trace::TraceFile file;
-  file.benchmark = benchmark.name;
-  for (std::size_t i = 0; i < benchmark.sequences.size(); ++i) {
-    file.sequence_names.push_back("seq" + std::to_string(i));
-    file.sequences.push_back(benchmark.sequences[i]);
+  if (!workloads::WorkloadRegistry::Global().Contains(spec)) {
+    // Trace-file spec: read the file directly so format conversion
+    // (text <-> binary) preserves the original sequence names, which
+    // the Benchmark type does not carry.
+    file = trace::LoadTraceFile(spec);
+  } else {
+    const auto benchmark = LoadBenchmark(spec);
+    file.benchmark = benchmark.name;
+    for (std::size_t i = 0; i < benchmark.sequences.size(); ++i) {
+      file.sequence_names.push_back("seq" + std::to_string(i));
+      file.sequences.push_back(benchmark.sequences[i]);
+    }
   }
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  WriteTrace(out, file);
+  if (path.ends_with(".rtb")) {
+    WriteBinaryTrace(out, file);
+  } else {
+    WriteTrace(out, file);
+  }
   std::printf("wrote %zu sequences to %s\n", file.sequences.size(),
               path.c_str());
   return 0;
 }
 
-int CmdPlace(const std::string& path, const std::string& strategy_name,
+int CmdPlace(const std::string& spec, const std::string& strategy_name,
              unsigned dbcs) {
   const auto strategy = core::StrategyRegistry::Global().Find(strategy_name);
   if (!strategy) {
@@ -140,12 +216,12 @@ int CmdPlace(const std::string& path, const std::string& strategy_name,
                  strategy_name.c_str());
     return 1;
   }
-  const auto file = LoadTrace(path);
+  const auto benchmark = LoadBenchmark(spec);
   rtm::RtmConfig config = rtm::RtmConfig::Paper(dbcs);
   core::StrategyOptions options;
   core::ScaleSearchEffort(options, 0.1);
-  for (std::size_t s = 0; s < file.sequences.size(); ++s) {
-    const auto& seq = file.sequences[s];
+  for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
+    const auto& seq = benchmark.sequences[s];
     if (seq.num_variables() == 0) continue;
     rtm::RtmConfig cfg = config;
     if (seq.num_variables() > cfg.word_capacity()) {
@@ -173,9 +249,9 @@ int CmdPlace(const std::string& path, const std::string& strategy_name,
   return 0;
 }
 
-int CmdCompare(const std::string& path, unsigned dbcs,
+int CmdCompare(const std::string& spec, unsigned dbcs,
                const std::string& json_path) {
-  const auto file = LoadTrace(path);
+  const auto benchmark = LoadBenchmark(spec);
   core::StrategyOptions options;
   core::ScaleSearchEffort(options, 0.1);
   util::TextTable table;
@@ -187,8 +263,8 @@ int CmdCompare(const std::string& path, unsigned dbcs,
   writer.BeginObject();
   writer.Member("schema_version", 1);
   writer.Member("tool", "placement_explorer");
-  writer.Member("trace", path);
-  writer.Member("benchmark", file.benchmark);
+  writer.Member("workload", spec);
+  writer.Member("benchmark", benchmark.name);
   writer.Member("dbcs", dbcs);
   writer.Key("strategies");
   writer.BeginArray();
@@ -198,7 +274,7 @@ int CmdCompare(const std::string& path, unsigned dbcs,
     std::uint64_t shifts = 0;
     double runtime = 0.0;
     double energy = 0.0;
-    for (const auto& seq : file.sequences) {
+    for (const auto& seq : benchmark.sequences) {
       if (seq.num_variables() == 0) continue;
       rtm::RtmConfig cfg = rtm::RtmConfig::Paper(dbcs);
       if (seq.num_variables() > cfg.word_capacity()) {
@@ -238,6 +314,20 @@ int CmdCompare(const std::string& path, unsigned dbcs,
   return 0;
 }
 
+/// Parses a trailing `[--json <file>]`; returns false (after printing
+/// usage) on anything else.
+bool ParseJsonFlag(int argc, char** argv, int first, std::string* json_path) {
+  for (int i = first; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      *json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,19 +344,19 @@ int main(int argc, char** argv) {
     }
     if (argc >= 4 && std::string(argv[1]) == "compare") {
       std::string json_path;
-      for (int i = 4; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-          json_path = argv[++i];
-        } else {
-          std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
-          return Usage();
-        }
-      }
+      if (!ParseJsonFlag(argc, argv, 4, &json_path)) return Usage();
       return CmdCompare(argv[2], static_cast<unsigned>(std::stoul(argv[3])),
                         json_path);
     }
     if (argc >= 2 && std::string(argv[1]) == "strategies") {
-      return CmdStrategies();
+      std::string json_path;
+      if (!ParseJsonFlag(argc, argv, 2, &json_path)) return Usage();
+      return CmdStrategies(json_path);
+    }
+    if (argc >= 2 && std::string(argv[1]) == "workloads") {
+      std::string json_path;
+      if (!ParseJsonFlag(argc, argv, 2, &json_path)) return Usage();
+      return CmdWorkloads(json_path);
     }
     if (argc == 1) {
       // Demo: inspect one benchmark so running without arguments shows

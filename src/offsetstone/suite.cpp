@@ -248,6 +248,15 @@ Benchmark Generate(const BenchmarkProfile& profile, std::uint64_t suite_seed) {
   return benchmark;
 }
 
+Benchmark Generate(const BenchmarkProfile& profile, std::uint64_t suite_seed,
+                   double scale) {
+  BenchmarkProfile scaled = profile;
+  scaled.num_sequences = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(profile.num_sequences) * scale)));
+  return Generate(scaled, suite_seed);
+}
+
 std::vector<Benchmark> GenerateSuite(std::uint64_t suite_seed) {
   std::vector<Benchmark> suite;
   suite.reserve(SuiteProfiles().size());

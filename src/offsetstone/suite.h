@@ -79,6 +79,13 @@ struct Benchmark {
 [[nodiscard]] Benchmark Generate(const BenchmarkProfile& profile,
                                  std::uint64_t suite_seed = 0);
 
+/// Scaled variant: multiplies the profile's sequence count (min 1).
+/// scale = 1 reproduces Generate(profile, suite_seed) exactly; smaller
+/// scales yield a deterministic prefix of its sequences — the knob the
+/// workload registry (workloads/workload.h) exposes.
+[[nodiscard]] Benchmark Generate(const BenchmarkProfile& profile,
+                                 std::uint64_t suite_seed, double scale);
+
 /// Generates the whole suite.
 [[nodiscard]] std::vector<Benchmark> GenerateSuite(
     std::uint64_t suite_seed = 0);

@@ -12,6 +12,7 @@
 #include "core/strategy_registry.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "workloads/workload.h"
 
 namespace rtmp::sim {
 
@@ -249,6 +250,30 @@ std::vector<RunResult> RunMatrix(
   }
   if (error) std::rethrow_exception(error);
   return results;
+}
+
+std::vector<offsetstone::Benchmark> LoadWorkloads(
+    std::span<const std::string> specs, const ExperimentOptions& options) {
+  workloads::WorkloadRequest request;
+  request.seed = options.workload_seed;
+  request.scale = options.workload_scale;
+  std::vector<offsetstone::Benchmark> suite;
+  suite.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    const auto workload = workloads::ResolveWorkload(spec);
+    if (!workload) {
+      throw std::invalid_argument(
+          "LoadWorkloads: '" + spec +
+          "' is neither a registered workload nor a trace file");
+    }
+    suite.push_back(workload->Generate(request));
+  }
+  return suite;
+}
+
+std::vector<RunResult> RunMatrix(std::span<const std::string> workload_specs,
+                                 const ExperimentOptions& options) {
+  return RunMatrix(LoadWorkloads(workload_specs, options), options);
 }
 
 std::string ResultTable::Key(const std::string& benchmark, unsigned dbcs,

@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -99,6 +100,11 @@ struct ExperimentOptions {
   /// (same results either way; see header comment).
   unsigned num_threads = 0;
   ProgressCallback progress;
+  /// Generation seed and scale handed to workloads resolved by name
+  /// (the workload-spec RunMatrix overload / LoadWorkloads). Independent
+  /// of `seed`, which drives the GA/RW search streams.
+  std::uint64_t workload_seed = 0;
+  double workload_scale = 1.0;
 };
 
 /// Reads ExperimentOptions::search_effort from the RTMPLACE_EFFORT
@@ -117,6 +123,21 @@ struct ExperimentOptions {
 /// exactly.
 [[nodiscard]] std::vector<RunResult> RunMatrix(
     const std::vector<offsetstone::Benchmark>& suite,
+    const ExperimentOptions& options);
+
+/// Materializes workload specs — registry names (workloads/workload.h)
+/// or trace-file paths — into benchmarks, generated with
+/// options.workload_seed and options.workload_scale. Throws
+/// std::invalid_argument on a spec that is neither.
+[[nodiscard]] std::vector<offsetstone::Benchmark> LoadWorkloads(
+    std::span<const std::string> specs, const ExperimentOptions& options);
+
+/// Workload-spec entry point:
+/// RunMatrix(LoadWorkloads(specs, options), options). This is how every
+/// registered workload (and any external trace file) enters the
+/// evaluation matrix by name.
+[[nodiscard]] std::vector<RunResult> RunMatrix(
+    std::span<const std::string> workload_specs,
     const ExperimentOptions& options);
 
 /// Runs one benchmark / strategy / DBC-count cell. The strategy is

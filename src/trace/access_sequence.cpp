@@ -8,20 +8,21 @@ namespace rtmp::trace {
 AccessSequence AccessSequence::FromTokens(
     std::span<const std::string> tokens) {
   AccessSequence seq;
-  for (const std::string& token : tokens) {
-    if (token.empty()) continue;
-    AccessType type = AccessType::kRead;
-    std::string name = token;
-    if (name.back() == '!') {
-      type = AccessType::kWrite;
-      name.pop_back();
-      if (name.empty()) {
-        throw std::invalid_argument("trace token '!' has no variable name");
-      }
-    }
-    seq.Append(seq.AddVariable(std::move(name)), type);
-  }
+  for (const std::string& token : tokens) seq.AppendToken(token);
   return seq;
+}
+
+void AccessSequence::AppendToken(std::string token) {
+  if (token.empty()) return;
+  AccessType type = AccessType::kRead;
+  if (token.back() == '!') {
+    type = AccessType::kWrite;
+    token.pop_back();
+    if (token.empty()) {
+      throw std::invalid_argument("trace token '!' has no variable name");
+    }
+  }
+  Append(AddVariable(std::move(token)), type);
 }
 
 AccessSequence AccessSequence::FromCompactString(std::string_view text) {

@@ -57,6 +57,13 @@ class AccessSequence {
   /// Appends one access. The variable must have been registered.
   void Append(VariableId variable, AccessType type = AccessType::kRead);
 
+  /// Appends one textual access token — a variable name with an
+  /// optional trailing '!' write marker ("acc!") — registering the name
+  /// on first appearance. Throws std::invalid_argument on a bare "!".
+  /// The one token grammar shared by FromTokens and the streaming trace
+  /// reader (trace/trace_stream.h).
+  void AppendToken(std::string token);
+
   /// Number of registered variables (the paper's |V|). Variables with zero
   /// accesses are allowed (they still need a placement slot).
   [[nodiscard]] std::size_t num_variables() const noexcept {

@@ -4,50 +4,22 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
-#include "util/strings.h"
+#include "trace/trace_stream.h"
 
 namespace rtmp::trace {
 
-namespace {
-constexpr std::string_view kBenchmarkDirective = "benchmark";
-constexpr std::string_view kSequenceDirective = "sequence";
-}  // namespace
-
 TraceFile ReadTrace(std::istream& in) {
+  // The materializing reader is a thin collector over the streaming
+  // parser (trace/trace_stream.h), so both paths share one grammar.
   TraceFile trace;
-  std::vector<std::vector<std::string>> token_lists;
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::string_view trimmed = util::Trim(line);
-    if (trimmed.empty() || trimmed.front() == '#') continue;
-    auto tokens = util::SplitWhitespace(trimmed);
-    if (tokens.front() == kBenchmarkDirective) {
-      if (tokens.size() != 2) {
-        throw std::runtime_error("trace: 'benchmark' needs exactly one name");
-      }
-      trace.benchmark = tokens[1];
-      continue;
-    }
-    if (tokens.front() == kSequenceDirective) {
-      if (tokens.size() > 2) {
-        throw std::runtime_error("trace: 'sequence' takes at most one name");
-      }
-      trace.sequence_names.push_back(tokens.size() == 2 ? tokens[1] : "");
-      token_lists.emplace_back();
-      continue;
-    }
-    if (token_lists.empty()) {
-      throw std::runtime_error(
-          "trace: access tokens before any 'sequence' directive");
-    }
-    auto& current = token_lists.back();
-    current.insert(current.end(), tokens.begin(), tokens.end());
-  }
-  trace.sequences.reserve(token_lists.size());
-  for (const auto& tokens : token_lists) {
-    trace.sequences.push_back(AccessSequence::FromTokens(tokens));
-  }
+  const TraceSummary summary = StreamTextTrace(
+      in, [&trace](const std::string& name, AccessSequence seq) {
+        trace.sequence_names.push_back(name);
+        trace.sequences.push_back(std::move(seq));
+      });
+  trace.benchmark = summary.benchmark;
   return trace;
 }
 
@@ -56,9 +28,22 @@ TraceFile ReadTraceFromString(const std::string& text) {
   return ReadTrace(in);
 }
 
+namespace {
+
+/// True when `token`, placed first on a line, would be (mis)parsed as a
+/// directive or a comment instead of an access. The writer must never
+/// break a line right before such a token.
+bool MisparsesAtLineStart(const std::string& token) {
+  return token == "benchmark" || token == "sequence" || token == "total" ||
+         (!token.empty() && token.front() == '#');
+}
+
+}  // namespace
+
 void WriteTrace(std::ostream& out, const TraceFile& trace) {
   out << "# rtmplace trace v1\n";
   if (!trace.benchmark.empty()) out << "benchmark " << trace.benchmark << '\n';
+  std::uint64_t total_accesses = 0;
   for (std::size_t i = 0; i < trace.sequences.size(); ++i) {
     out << "sequence";
     if (i < trace.sequence_names.size() && !trace.sequence_names[i].empty()) {
@@ -66,13 +51,41 @@ void WriteTrace(std::ostream& out, const TraceFile& trace) {
     }
     out << '\n';
     const AccessSequence& seq = trace.sequences[i];
+    total_accesses += seq.size();
     constexpr std::size_t kPerLine = 16;
+    std::size_t on_line = 0;
     for (std::size_t j = 0; j < seq.size(); ++j) {
-      out << seq.name_of(seq[j].variable);
+      const std::string& name = seq.name_of(seq[j].variable);
+      // The reader only treats the FIRST token of a line as a
+      // directive/comment, so a colliding variable name ("total", "#x")
+      // is representable anywhere but at a line start: extend the
+      // current line past the wrap width instead of breaking before it.
+      // Only a sequence's very first access has no line to extend.
+      if (on_line == 0 && MisparsesAtLineStart(name)) {
+        throw std::runtime_error(
+            "trace: sequence starts with variable '" + name +
+            "', which would parse as a directive at a line start; this "
+            "trace is not representable in the text format (use "
+            "WriteBinaryTrace)");
+      }
+      out << name;
       if (seq[j].type == AccessType::kWrite) out << '!';
-      out << ((j + 1) % kPerLine == 0 || j + 1 == seq.size() ? '\n' : ' ');
+      ++on_line;
+      const bool last = j + 1 == seq.size();
+      const bool wrap = on_line >= kPerLine &&
+                        !(j + 1 < seq.size() &&
+                          MisparsesAtLineStart(seq.name_of(seq[j + 1].variable)));
+      if (last || wrap) {
+        out << '\n';
+        on_line = 0;
+      } else {
+        out << ' ';
+      }
     }
   }
+  // Truncation guard: readers cross-check these counts when present
+  // (and can insist on them; see TraceStreamOptions::require_total).
+  out << "total " << trace.sequences.size() << ' ' << total_accesses << '\n';
 }
 
 std::string WriteTraceToString(const TraceFile& trace) {

@@ -6,10 +6,16 @@
 //   benchmark <name>                   -- optional benchmark name
 //   sequence [<name>]                  -- starts a new access sequence
 //   a b a c! b ...                     -- accesses; '!' suffix marks a write
+//   total <sequences> <accesses>       -- optional footer (truncation guard)
 //
 // Access lines may be split over multiple lines; a sequence ends at the next
 // `sequence` directive or end of file. This mirrors the shape of OffsetStone
 // inputs (one file per benchmark, many access sequences per file).
+//
+// WriteTrace always emits the `total` footer; readers validate it when
+// present (and must be the last directive). For large external traces and
+// the compact binary format, see trace/trace_stream.h — the streaming
+// layer both readers here are built on.
 #pragma once
 
 #include <iosfwd>

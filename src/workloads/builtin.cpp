@@ -1,0 +1,253 @@
+// Built-in workload registration: the OffsetStone-lite suite profiles,
+// the raw trace::Generate* families, and the synthetic application
+// families of workloads/synthetic.h, all behind one registry.
+#include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "trace/generators.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "workloads/synthetic.h"
+#include "workloads/workload.h"
+
+namespace rtmp::workloads {
+
+namespace {
+
+/// max(1, round(base * factor)) — the scale rule every size knob uses.
+std::size_t Scaled(std::size_t base, double factor) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(static_cast<double>(base) * factor)));
+}
+
+using SequenceFn = std::function<trace::AccessSequence(
+    const WorkloadRequest& request, std::size_t index, util::Rng& rng)>;
+
+/// A workload materialized by calling `fn` once per sequence with a
+/// name-seeded RNG stream. Deterministic in (name, seed, scale) and
+/// independent of threads or call order: the RNG is local to Generate().
+class FunctionWorkload final : public Workload {
+ public:
+  FunctionWorkload(WorkloadInfo info, std::size_t num_sequences,
+                   SequenceFn fn)
+      : info_(std::move(info)),
+        num_sequences_(num_sequences),
+        fn_(std::move(fn)) {}
+
+  [[nodiscard]] const WorkloadInfo& Describe() const noexcept override {
+    return info_;
+  }
+
+  [[nodiscard]] offsetstone::Benchmark Generate(
+      const WorkloadRequest& request) const override {
+    ValidateRequest(request);
+    offsetstone::Benchmark benchmark;
+    benchmark.name = info_.name;
+    util::Rng rng(util::HashString(info_.name) ^ request.seed);
+    benchmark.sequences.reserve(num_sequences_);
+    for (std::size_t i = 0; i < num_sequences_; ++i) {
+      benchmark.sequences.push_back(fn_(request, i, rng));
+    }
+    return benchmark;
+  }
+
+ private:
+  WorkloadInfo info_;
+  std::size_t num_sequences_;
+  SequenceFn fn_;
+};
+
+/// One OffsetStone-lite profile as a workload. scale multiplies the
+/// sequence count (scale 1 reproduces the suite benchmark exactly;
+/// smaller scales keep a deterministic prefix of its sequences).
+class SuiteWorkload final : public Workload {
+ public:
+  explicit SuiteWorkload(offsetstone::BenchmarkProfile profile)
+      : profile_(std::move(profile)) {
+    info_.name = profile_.name;
+    info_.summary = util::Concat(
+        {"OffsetStone-lite suite benchmark (",
+         std::to_string(profile_.num_sequences), " sequences)"});
+    info_.family = "offsetstone";
+  }
+
+  [[nodiscard]] const WorkloadInfo& Describe() const noexcept override {
+    return info_;
+  }
+
+  [[nodiscard]] offsetstone::Benchmark Generate(
+      const WorkloadRequest& request) const override {
+    ValidateRequest(request);
+    return offsetstone::Generate(profile_, request.seed, request.scale);
+  }
+
+ private:
+  offsetstone::BenchmarkProfile profile_;
+  WorkloadInfo info_;
+};
+
+void RegisterFn(WorkloadRegistry& registry, std::string name,
+                std::string summary, std::string family,
+                std::size_t num_sequences, SequenceFn fn) {
+  WorkloadInfo info;
+  info.name = name;
+  info.summary = std::move(summary);
+  info.family = std::move(family);
+  registry.Register(
+      std::move(name),
+      [info = std::move(info), num_sequences, fn = std::move(fn)] {
+        return std::make_shared<const FunctionWorkload>(info, num_sequences,
+                                                        fn);
+      });
+}
+
+/// Per-sequence size factor: each workload carries a small, a medium and
+/// a large instance so one registry name still spans a size range.
+double IndexFactor(std::size_t index) {
+  return 1.0 + 0.5 * static_cast<double>(index);
+}
+
+void RegisterGeneratorFamilies(WorkloadRegistry& registry) {
+  RegisterFn(registry, "gen-uniform", "unstructured uniform accesses",
+             "generator", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               trace::UniformParams p;
+               p.num_vars = Scaled(16, IndexFactor(i));
+               p.length = Scaled(256, IndexFactor(i) * req.scale);
+               return trace::GenerateUniform(p, rng);
+             });
+  RegisterFn(registry, "gen-zipf", "frequency-skewed accesses, no structure",
+             "generator", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               trace::ZipfParams p;
+               p.num_vars = Scaled(48, IndexFactor(i));
+               p.length = Scaled(768, IndexFactor(i) * req.scale);
+               p.exponent = 0.8 + 0.2 * static_cast<double>(i);
+               return trace::GenerateZipf(p, rng);
+             });
+  RegisterFn(registry, "gen-phased",
+             "program phases over disjoint variable groups", "generator", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               trace::PhasedParams p;
+               p.num_phases = 4 + i;
+               p.vars_per_phase = Scaled(8, IndexFactor(i));
+               p.accesses_per_phase = Scaled(96, req.scale);
+               return trace::GeneratePhased(p, rng);
+             });
+  RegisterFn(registry, "gen-markov",
+             "control-dominated transition-matrix accesses", "generator", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               trace::MarkovParams p;
+               p.num_vars = Scaled(48, IndexFactor(i));
+               p.length = Scaled(768, IndexFactor(i) * req.scale);
+               return trace::GenerateMarkov(p, rng);
+             });
+  RegisterFn(registry, "gen-loopnest",
+             "strided array sweeps with loop-carried scalars", "generator", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               trace::LoopNestParams p;
+               p.num_arrays = 2 + i;
+               p.array_len = Scaled(12, IndexFactor(i));
+               p.iterations = Scaled(10, req.scale);
+               return trace::GenerateLoopNest(p, rng);
+             });
+  RegisterFn(registry, "gen-sequential",
+             "straight-line sliding-window compiler traces", "generator", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               trace::SequentialParams p;
+               p.num_vars = Scaled(48, IndexFactor(i));
+               p.length = Scaled(512, IndexFactor(i) * req.scale);
+               return trace::GenerateSequential(p, rng);
+             });
+}
+
+void RegisterSyntheticFamilies(WorkloadRegistry& registry) {
+  RegisterFn(registry, "stencil", "2D 5-point stencil sweep over a grid",
+             "synthetic", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               StencilParams p;
+               p.width = 6 + 2 * i;
+               p.height = 6 + 2 * i;
+               p.time_steps = Scaled(2, req.scale);
+               return GenerateStencil(p, rng);
+             });
+  RegisterFn(registry, "gemm-tiled", "tiled dense matrix multiply (C += A*B)",
+             "synthetic", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               TiledGemmParams p;
+               // Work grows with dim^3: scale the edge by cbrt(scale) so
+               // the trace length stays roughly linear in scale.
+               p.dim = Scaled(4 + 2 * i, std::cbrt(req.scale));
+               p.tile = 2 + i;
+               return GenerateTiledGemm(p, rng);
+             });
+  RegisterFn(registry, "hash-join", "zipf-keyed hash-join probe stream",
+             "synthetic", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               HashJoinParams p;
+               p.num_buckets = Scaled(24, IndexFactor(i));
+               p.probes = Scaled(384, req.scale);
+               return GenerateHashJoin(p, rng);
+             });
+  RegisterFn(registry, "bfs-frontier",
+             "frontier-expanding BFS over a random sparse graph",
+             "synthetic", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               BfsFrontierParams p;
+               p.num_vertices = Scaled(48, IndexFactor(i));
+               p.rounds = Scaled(2, req.scale);
+               return GenerateBfsFrontier(p, rng);
+             });
+  RegisterFn(registry, "kv-churn",
+             "zipfian key-value churn with a sliding working set",
+             "synthetic", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               KvChurnParams p;
+               p.live_keys = Scaled(32, IndexFactor(i));
+               p.operations = Scaled(512, req.scale);
+               return GenerateKvChurn(p, rng);
+             });
+  RegisterFn(registry, "fft-butterfly",
+             "radix-2 FFT butterfly stages (stride-doubling pairs)",
+             "synthetic", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               FftButterflyParams p;
+               p.points = std::size_t{32} << i;
+               p.transforms = Scaled(1, req.scale);
+               return GenerateFftButterfly(p, rng);
+             });
+  RegisterFn(registry, "pointer-chase",
+             "serial walks of a random permutation cycle", "synthetic", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               PointerChaseParams p;
+               p.num_nodes = Scaled(40, IndexFactor(i));
+               p.steps = Scaled(448, IndexFactor(i) * req.scale);
+               return GeneratePointerChase(p, rng);
+             });
+  RegisterFn(registry, "stream-scan",
+             "sequential array passes with hot accumulators", "synthetic", 3,
+             [](const WorkloadRequest& req, std::size_t i, util::Rng& rng) {
+               StreamScanParams p;
+               p.array_len = Scaled(64, IndexFactor(i));
+               p.passes = Scaled(3, req.scale);
+               return GenerateStreamScan(p, rng);
+             });
+}
+
+}  // namespace
+
+void RegisterBuiltinWorkloads(WorkloadRegistry& registry) {
+  for (const offsetstone::BenchmarkProfile& profile :
+       offsetstone::SuiteProfiles()) {
+    registry.Register(profile.name, [profile] {
+      return std::make_shared<const SuiteWorkload>(profile);
+    });
+  }
+  RegisterGeneratorFamilies(registry);
+  RegisterSyntheticFamilies(registry);
+}
+
+}  // namespace rtmp::workloads

@@ -1,0 +1,248 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace rtmp::workloads {
+
+namespace {
+
+using trace::AccessSequence;
+using trace::AccessType;
+using trace::VariableId;
+
+/// Registers `count` variables named "<prefix><i>" and returns their ids
+/// (dense, in registration order).
+std::vector<VariableId> AddBlock(AccessSequence& seq, std::string_view prefix,
+                                 std::size_t count) {
+  std::vector<VariableId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ids.push_back(
+        seq.AddVariable(util::Concat({prefix, std::to_string(i)})));
+  }
+  return ids;
+}
+
+}  // namespace
+
+AccessSequence GenerateStencil(const StencilParams& params, util::Rng&) {
+  const std::size_t w = std::max<std::size_t>(params.width, 1);
+  const std::size_t h = std::max<std::size_t>(params.height, 1);
+  AccessSequence seq;
+  const auto grid = AddBlock(seq, "c", w * h);
+  const auto at = [&](std::size_t row, std::size_t col) {
+    return grid[row * w + col];
+  };
+  for (std::size_t step = 0; step < std::max<std::size_t>(params.time_steps, 1);
+       ++step) {
+    for (std::size_t row = 0; row < h; ++row) {
+      for (std::size_t col = 0; col < w; ++col) {
+        // Clamped 5-point stencil: N, W, center, E, S reads in memory
+        // order, then the center update.
+        seq.Append(at(row == 0 ? 0 : row - 1, col));
+        seq.Append(at(row, col == 0 ? 0 : col - 1));
+        seq.Append(at(row, col));
+        seq.Append(at(row, col + 1 == w ? col : col + 1));
+        seq.Append(at(row + 1 == h ? row : row + 1, col));
+        seq.Append(at(row, col), AccessType::kWrite);
+      }
+    }
+  }
+  return seq;
+}
+
+AccessSequence GenerateTiledGemm(const TiledGemmParams& params, util::Rng&) {
+  const std::size_t n = std::max<std::size_t>(params.dim, 1);
+  const std::size_t t =
+      std::clamp<std::size_t>(params.tile, 1, n);
+  AccessSequence seq;
+  const auto a = AddBlock(seq, "a", n * n);
+  const auto b = AddBlock(seq, "b", n * n);
+  const auto c = AddBlock(seq, "x", n * n);  // "x" sorts away from a/b
+  // Tiled C += A*B: the (ii, jj) C tile stays hot across the kk loop.
+  for (std::size_t ii = 0; ii < n; ii += t) {
+    for (std::size_t jj = 0; jj < n; jj += t) {
+      for (std::size_t kk = 0; kk < n; kk += t) {
+        for (std::size_t i = ii; i < std::min(ii + t, n); ++i) {
+          for (std::size_t j = jj; j < std::min(jj + t, n); ++j) {
+            seq.Append(c[i * n + j]);
+            for (std::size_t k = kk; k < std::min(kk + t, n); ++k) {
+              seq.Append(a[i * n + k]);
+              seq.Append(b[k * n + j]);
+            }
+            seq.Append(c[i * n + j], AccessType::kWrite);
+          }
+        }
+      }
+    }
+  }
+  return seq;
+}
+
+AccessSequence GenerateHashJoin(const HashJoinParams& params, util::Rng& rng) {
+  const std::size_t buckets = std::max<std::size_t>(params.num_buckets, 1);
+  const std::size_t max_chain = std::max<std::size_t>(params.max_chain, 1);
+  AccessSequence seq;
+  // Build side: per-bucket chains of 1..max_chain entry variables.
+  std::vector<std::vector<VariableId>> chains(buckets);
+  for (std::size_t bkt = 0; bkt < buckets; ++bkt) {
+    const std::size_t chain = 1 + rng.NextBelow(max_chain);
+    for (std::size_t link = 0; link < chain; ++link) {
+      chains[bkt].push_back(seq.AddVariable(util::Concat(
+          {"b", std::to_string(bkt), "_", std::to_string(link)})));
+    }
+  }
+  const auto accumulators =
+      AddBlock(seq, "acc", std::max<std::size_t>(params.num_accumulators, 1));
+  // Hot buckets: probe keys are zipf-ranked over a shuffled bucket order.
+  std::vector<std::size_t> by_rank(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) by_rank[i] = i;
+  rng.Shuffle(by_rank);
+  for (std::size_t probe = 0; probe < params.probes; ++probe) {
+    const auto& chain = chains[by_rank[rng.NextZipf(buckets, params.key_zipf)]];
+    // Walk a prefix of the chain (the matching entry stops the walk).
+    const std::size_t walk = 1 + rng.NextBelow(chain.size());
+    for (std::size_t link = 0; link < walk; ++link) seq.Append(chain[link]);
+    if (rng.NextBool(params.match_prob)) {
+      seq.Append(accumulators[rng.NextBelow(accumulators.size())],
+                 AccessType::kWrite);
+    }
+  }
+  return seq;
+}
+
+AccessSequence GenerateBfsFrontier(const BfsFrontierParams& params,
+                                   util::Rng& rng) {
+  const std::size_t n = std::max<std::size_t>(params.num_vertices, 2);
+  AccessSequence seq;
+  const auto verts = AddBlock(seq, "v", n);
+  // Random sparse digraph: a ring (guaranteeing connectivity) plus
+  // avg_degree-1 random extra edges per vertex.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    adj[u].push_back((u + 1) % n);
+    for (std::size_t e = 1; e < std::max<std::size_t>(params.avg_degree, 1);
+         ++e) {
+      adj[u].push_back(rng.NextBelow(n));
+    }
+  }
+  for (std::size_t round = 0; round < std::max<std::size_t>(params.rounds, 1);
+       ++round) {
+    const std::size_t root = rng.NextBelow(n);
+    std::vector<bool> visited(n, false);
+    std::vector<std::size_t> frontier{root};
+    visited[root] = true;
+    seq.Append(verts[root], AccessType::kWrite);  // mark the root
+    while (!frontier.empty()) {
+      std::vector<std::size_t> next;
+      for (const std::size_t u : frontier) {
+        seq.Append(verts[u]);  // load the frontier vertex
+        for (const std::size_t v : adj[u]) {
+          seq.Append(verts[v]);  // inspect the neighbor
+          if (!visited[v]) {
+            visited[v] = true;
+            seq.Append(verts[v], AccessType::kWrite);  // mark it
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+  return seq;
+}
+
+AccessSequence GenerateKvChurn(const KvChurnParams& params, util::Rng& rng) {
+  const std::size_t live = std::max<std::size_t>(params.live_keys, 1);
+  const std::size_t period = std::max<std::size_t>(params.churn_period, 1);
+  // The last operation (index operations-1) sees the highest window
+  // base, so that is what bounds the key space — operations/period
+  // would mint one phantom key no access can ever reach when the
+  // operation count is an exact multiple of the period.
+  const std::size_t slides =
+      params.operations == 0 ? 0 : (params.operations - 1) / period;
+  AccessSequence seq;
+  const auto keys = AddBlock(seq, "k", live + slides);
+  for (std::size_t op = 0; op < params.operations; ++op) {
+    // The working-set window slides forward once per churn period: the
+    // oldest key retires for good, a fresh key becomes the hottest.
+    const std::size_t window_base = op / period;
+    // Rank 0 = newest key: churn workloads are recency-skewed.
+    const std::size_t rank = rng.NextZipf(live, params.zipf);
+    const VariableId key = keys[window_base + (live - 1 - rank)];
+    seq.Append(key, rng.NextBool(params.put_fraction) ? AccessType::kWrite
+                                                      : AccessType::kRead);
+  }
+  return seq;
+}
+
+AccessSequence GenerateFftButterfly(const FftButterflyParams& params,
+                                    util::Rng&) {
+  std::size_t n = 2;
+  while (n * 2 <= params.points) n *= 2;
+  AccessSequence seq;
+  const auto points = AddBlock(seq, "p", n);
+  for (std::size_t pass = 0; pass < std::max<std::size_t>(params.transforms, 1);
+       ++pass) {
+    // Iterative radix-2: stage stride doubles 1, 2, 4, ..., n/2.
+    for (std::size_t half = 1; half < n; half *= 2) {
+      for (std::size_t group = 0; group < n; group += 2 * half) {
+        for (std::size_t i = group; i < group + half; ++i) {
+          seq.Append(points[i]);
+          seq.Append(points[i + half]);
+          seq.Append(points[i], AccessType::kWrite);
+          seq.Append(points[i + half], AccessType::kWrite);
+        }
+      }
+    }
+  }
+  return seq;
+}
+
+AccessSequence GeneratePointerChase(const PointerChaseParams& params,
+                                    util::Rng& rng) {
+  const std::size_t n = std::max<std::size_t>(params.num_nodes, 1);
+  AccessSequence seq;
+  const auto nodes = AddBlock(seq, "n", n);
+  // next[] is a single random cycle over all nodes (Sattolo's algorithm),
+  // so the chase revisits every node once per lap.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::vector<std::size_t> next(n);
+  for (std::size_t i = 0; i < n; ++i) next[order[i]] = order[(i + 1) % n];
+  std::size_t current = order[0];
+  for (std::size_t step = 0; step < params.steps; ++step) {
+    seq.Append(nodes[current], rng.NextBool(params.write_fraction)
+                                   ? AccessType::kWrite
+                                   : AccessType::kRead);
+    current = rng.NextBool(params.restart_prob) ? order[0] : next[current];
+  }
+  return seq;
+}
+
+AccessSequence GenerateStreamScan(const StreamScanParams& params,
+                                  util::Rng& rng) {
+  const std::size_t len = std::max<std::size_t>(params.array_len, 1);
+  AccessSequence seq;
+  const auto data = AddBlock(seq, "s", len);
+  const auto accumulators =
+      AddBlock(seq, "acc", std::max<std::size_t>(params.num_accumulators, 1));
+  for (std::size_t pass = 0; pass < std::max<std::size_t>(params.passes, 1);
+       ++pass) {
+    for (std::size_t i = 0; i < len; ++i) {
+      seq.Append(data[i]);
+      if (rng.NextBool(params.accumulator_prob)) {
+        seq.Append(accumulators[rng.NextBelow(accumulators.size())],
+                   AccessType::kWrite);
+      }
+    }
+  }
+  return seq;
+}
+
+}  // namespace rtmp::workloads

@@ -1,0 +1,110 @@
+// Application-shaped synthetic workload families.
+//
+// The trace/generators.h families model statistical structure (skew,
+// phases, windows); these model the access patterns of eight concrete
+// application kernels, the scenario diversity the ROADMAP asks for.
+// Every generator is deterministic given the Rng it is handed, and every
+// structural write (a stencil update, a butterfly output) is a kWrite so
+// the energy model sees realistic read/write mixes.
+//
+// Families and the placement behaviour they exercise:
+//  * Stencil      — 5-point neighbor reads + center write sweeping a 2D
+//                   grid; strong spatial reuse between adjacent rows.
+//  * TiledGemm    — C += A*B with a tiled triple loop; three arrays with
+//                   very different reuse distances (A row-, B column-,
+//                   C tile-resident).
+//  * HashJoin     — zipf-keyed probes walking short bucket chains plus
+//                   hot accumulator writes; pointer-ish locality with a
+//                   skewed hot set.
+//  * BfsFrontier  — frontier expansion over a random sparse graph;
+//                   irregular neighbor access with a moving frontier.
+//  * KvChurn      — zipfian get/put over a key working set that slides
+//                   over time (old keys retire, fresh keys enter) — the
+//                   cache-churn regime.
+//  * FftButterfly — log2(n) butterfly stages with stride-doubling pair
+//                   accesses; the classic strided-reuse stress test.
+//  * PointerChase — repeated walks of a random permutation cycle with
+//                   occasional restarts; serial dependent accesses, the
+//                   worst case for prefetch-like placement.
+//  * StreamScan   — sequential passes over a large array with a few hot
+//                   accumulators; minimal reuse plus a tiny hot set.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/access_sequence.h"
+#include "util/rng.h"
+
+namespace rtmp::workloads {
+
+struct StencilParams {
+  std::size_t width = 8;    ///< grid columns (one variable per cell)
+  std::size_t height = 8;   ///< grid rows
+  std::size_t time_steps = 2;
+};
+
+struct TiledGemmParams {
+  std::size_t dim = 6;   ///< square matrix dimension (3*dim^2 variables)
+  std::size_t tile = 3;  ///< tile edge; clamped to dim
+};
+
+struct HashJoinParams {
+  std::size_t num_buckets = 32;
+  std::size_t max_chain = 3;  ///< bucket chain length in [1, max_chain]
+  std::size_t probes = 384;
+  double key_zipf = 0.9;      ///< probe-key skew
+  double match_prob = 0.55;   ///< chance a probe ends in a result write
+  std::size_t num_accumulators = 2;
+};
+
+struct BfsFrontierParams {
+  std::size_t num_vertices = 64;
+  std::size_t avg_degree = 4;
+  std::size_t rounds = 2;  ///< independent traversals from distinct roots
+};
+
+struct KvChurnParams {
+  std::size_t live_keys = 40;    ///< working-set size at any moment
+  std::size_t operations = 512;
+  std::size_t churn_period = 16;  ///< ops between working-set slides
+  double zipf = 1.0;              ///< popularity skew inside the window
+  double put_fraction = 0.35;
+};
+
+struct FftButterflyParams {
+  std::size_t points = 64;  ///< rounded down to a power of two, min 2
+  std::size_t transforms = 1;
+};
+
+struct PointerChaseParams {
+  std::size_t num_nodes = 56;
+  std::size_t steps = 448;
+  double restart_prob = 0.05;    ///< jump back to the cycle's entry node
+  double write_fraction = 0.15;  ///< payload updates along the walk
+};
+
+struct StreamScanParams {
+  std::size_t array_len = 96;
+  std::size_t passes = 3;
+  std::size_t num_accumulators = 3;
+  double accumulator_prob = 0.25;  ///< accumulator write per element read
+};
+
+[[nodiscard]] trace::AccessSequence GenerateStencil(const StencilParams& params,
+                                                    util::Rng& rng);
+[[nodiscard]] trace::AccessSequence GenerateTiledGemm(
+    const TiledGemmParams& params, util::Rng& rng);
+[[nodiscard]] trace::AccessSequence GenerateHashJoin(
+    const HashJoinParams& params, util::Rng& rng);
+[[nodiscard]] trace::AccessSequence GenerateBfsFrontier(
+    const BfsFrontierParams& params, util::Rng& rng);
+[[nodiscard]] trace::AccessSequence GenerateKvChurn(const KvChurnParams& params,
+                                                    util::Rng& rng);
+[[nodiscard]] trace::AccessSequence GenerateFftButterfly(
+    const FftButterflyParams& params, util::Rng& rng);
+[[nodiscard]] trace::AccessSequence GeneratePointerChase(
+    const PointerChaseParams& params, util::Rng& rng);
+[[nodiscard]] trace::AccessSequence GenerateStreamScan(
+    const StreamScanParams& params, util::Rng& rng);
+
+}  // namespace rtmp::workloads

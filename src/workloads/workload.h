@@ -1,0 +1,164 @@
+// Workload registry: the open, name-keyed dispatch layer for benchmark
+// workloads — the input side of the evaluation, mirroring the strategy
+// registry on the solution side (core/strategy_registry.h).
+//
+// A workload is anything that can turn a WorkloadRequest into an
+// offsetstone::Benchmark (a named set of access sequences). Three source
+// families register here:
+//
+//  * the OffsetStone-lite suite profiles ("gsm", "dct", ...), so the
+//    paper's benchmarks are reachable through the same interface;
+//  * the trace::Generate* families ("gen-zipf", "gen-markov", ...),
+//    exposing each raw generator as a standalone workload;
+//  * eight application-shaped synthetic families (workloads/synthetic.h):
+//    stencil sweeps, tiled GEMM, hash-join probes, BFS frontiers, zipfian
+//    key-value churn, FFT butterflies, pointer chases, streaming scans.
+//
+// External trace files (text or binary, see trace/trace_stream.h) enter
+// through ResolveWorkload(), which falls back to treating an unregistered
+// name as a file path — so `placement_explorer` and sim::RunMatrix accept
+// registry names and trace paths interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "offsetstone/suite.h"
+
+namespace rtmp::workloads {
+
+/// Everything a workload needs to materialize its benchmark. Generation
+/// must be deterministic in (seed, scale): equal requests yield
+/// bit-identical benchmarks on every platform and thread count.
+struct WorkloadRequest {
+  /// Seed the workload derives its RNG streams from (combined with the
+  /// workload name, so two workloads never share a stream).
+  std::uint64_t seed = 0;
+  /// Size multiplier relative to the workload's documented default
+  /// (sequence counts / lengths scale roughly linearly). Values in
+  /// (0, 16] are supported; out-of-range throws std::invalid_argument.
+  double scale = 1.0;
+};
+
+/// Self-description of a registered workload.
+struct WorkloadInfo {
+  /// Registry key: lowercase, unique ("gsm", "gen-zipf", "stencil", ...).
+  std::string name;
+  /// One-line human-readable description for listings and docs.
+  std::string summary;
+  /// Source family: "offsetstone", "generator", "synthetic" or "trace".
+  std::string family;
+};
+
+/// Abstract workload. Implementations must be stateless or internally
+/// synchronized: the experiment engine may call Generate() from many
+/// threads concurrently on one instance.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual const WorkloadInfo& Describe() const noexcept = 0;
+
+  /// Materializes the benchmark. Throws std::invalid_argument on
+  /// requests the workload cannot serve (e.g. out-of-range scale) and
+  /// std::runtime_error on I/O failures (trace-file workloads).
+  [[nodiscard]] virtual offsetstone::Benchmark Generate(
+      const WorkloadRequest& request) const = 0;
+};
+
+/// Validates request.scale (finite, in (0, 16]); throws
+/// std::invalid_argument otherwise. Every built-in workload calls this
+/// first so the documented parameter range is enforced uniformly.
+void ValidateRequest(const WorkloadRequest& request);
+
+/// Name -> factory registry. Lookups are case-insensitive (names are
+/// normalized to lowercase); construction is lazy and the instance is
+/// cached. All members are thread-safe. Deliberately the same shape as
+/// core::StrategyRegistry so the two sides of the evaluation matrix read
+/// the same.
+class WorkloadRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<const Workload>()>;
+
+  WorkloadRegistry() = default;
+  WorkloadRegistry(const WorkloadRegistry&) = delete;
+  WorkloadRegistry& operator=(const WorkloadRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-in
+  /// workloads (suite profiles + generator families + synthetics).
+  [[nodiscard]] static WorkloadRegistry& Global();
+
+  /// Registers `factory` under `name` (normalized to lowercase). Throws
+  /// std::invalid_argument if the name is empty, contains characters
+  /// outside [a-z0-9._-], or is already taken. Factories should be
+  /// cheap: listings instantiate the workload to read its WorkloadInfo,
+  /// so defer heavy state to Generate().
+  void Register(std::string name, Factory factory);
+
+  /// The workload registered under `name`; nullptr if unknown.
+  [[nodiscard]] std::shared_ptr<const Workload> Find(
+      std::string_view name) const;
+
+  /// Metadata of the workload registered under `name`; nullopt if
+  /// unknown.
+  [[nodiscard]] std::optional<WorkloadInfo> Describe(
+      std::string_view name) const;
+
+  [[nodiscard]] bool Contains(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    /// Constructed on first lookup, under mutex_.
+    mutable std::shared_ptr<const Workload> instance;
+  };
+
+  /// Requires mutex_ to be held by the caller.
+  [[nodiscard]] const Entry* FindEntry(const std::string& key) const;
+
+  mutable std::mutex mutex_;
+  // Sorted by key; small enough (tens of workloads) that a flat vector
+  // beats a map.
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+/// Registers the built-in workloads into `registry`: every OffsetStone
+/// suite profile under its benchmark name, the six trace::Generate*
+/// families under "gen-<family>", and the eight synthetic application
+/// families of workloads/synthetic.h. Global() calls this once; tests
+/// use it to build fresh registries.
+void RegisterBuiltinWorkloads(WorkloadRegistry& registry);
+
+/// A workload that loads an external trace file on every Generate()
+/// call: text format when the content starts like text, binary when the
+/// file carries the RTMB magic (see trace/trace_stream.h). The request's
+/// seed and scale are ignored — a trace file IS its own ground truth.
+[[nodiscard]] std::shared_ptr<const Workload> MakeTraceFileWorkload(
+    std::string path);
+
+/// Resolves a workload spec: a registered name wins; otherwise the spec
+/// is treated as a trace-file path (the file must exist). Returns
+/// nullptr when it is neither.
+[[nodiscard]] std::shared_ptr<const Workload> ResolveWorkload(
+    std::string_view spec);
+
+/// RAII self-registration into the Global() registry, for workloads
+/// defined outside this library. Same linker caveat as
+/// core::StrategyRegistrar: keep registrars in a translation unit that
+/// is otherwise linked in.
+struct WorkloadRegistrar {
+  WorkloadRegistrar(std::string name, WorkloadRegistry::Factory factory);
+};
+
+}  // namespace rtmp::workloads

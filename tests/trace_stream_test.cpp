@@ -1,0 +1,322 @@
+// Differential and fuzz tests for the trace loaders (text + binary):
+// write→read round-trip equality on randomized inputs, and randomized
+// corruption — truncation, bad magic, flipped bytes, overflowed counts,
+// non-numeric fields — must yield a clean std::runtime_error, never a
+// crash or a silently partial parse. The ASan+UBSan CI legs run this
+// binary too, which is what gives "never a crash" teeth.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stream.h"
+#include "util/rng.h"
+
+namespace rtmp::trace {
+namespace {
+
+/// Semantic equality: the text format serializes accesses by name, so
+/// unaccessed variables (and id numbering) are not preserved — compare
+/// what the format promises: access order, names and types.
+void ExpectSameAccesses(const AccessSequence& a, const AccessSequence& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.name_of(a[i].variable), b.name_of(b[i].variable)) << i;
+    EXPECT_EQ(a[i].type, b[i].type) << i;
+  }
+}
+
+/// Full equality: the binary format additionally preserves the variable
+/// table (every name, in id order), so unaccessed variables survive.
+void ExpectIdentical(const AccessSequence& a, const AccessSequence& b) {
+  EXPECT_EQ(a.variable_names(), b.variable_names());
+  EXPECT_EQ(a.accesses(), b.accesses());
+}
+
+TraceFile RandomTrace(util::Rng& rng) {
+  TraceFile file;
+  file.benchmark = "fuzz" + std::to_string(rng.NextBelow(1000));
+  const std::size_t sequences = 1 + rng.NextBelow(4);
+  for (std::size_t s = 0; s < sequences; ++s) {
+    file.sequence_names.push_back(rng.NextBool(0.7)
+                                      ? "seq" + std::to_string(s)
+                                      : "");
+    UniformParams params;
+    params.num_vars = 1 + rng.NextBelow(20);
+    params.length = rng.NextBelow(120);  // may be empty
+    params.write_fraction = rng.NextDouble();
+    file.sequences.push_back(GenerateUniform(params, rng));
+  }
+  return file;
+}
+
+std::string ToBinary(const TraceFile& file) {
+  std::ostringstream out(std::ios::binary);
+  WriteBinaryTrace(out, file);
+  return out.str();
+}
+
+TraceFile FromBinary(const std::string& blob) {
+  std::istringstream in(blob, std::ios::binary);
+  return ReadBinaryTrace(in);
+}
+
+TEST(TraceStream, TextRoundTripOnRandomTraces) {
+  util::Rng rng(0xABCDE);
+  for (int round = 0; round < 30; ++round) {
+    const TraceFile original = RandomTrace(rng);
+    const TraceFile parsed =
+        ReadTraceFromString(WriteTraceToString(original));
+    EXPECT_EQ(parsed.benchmark, original.benchmark);
+    ASSERT_EQ(parsed.sequences.size(), original.sequences.size());
+    for (std::size_t s = 0; s < parsed.sequences.size(); ++s) {
+      ExpectSameAccesses(original.sequences[s], parsed.sequences[s]);
+    }
+  }
+}
+
+TEST(TraceStream, BinaryRoundTripPreservesEverything) {
+  util::Rng rng(0x12345);
+  for (int round = 0; round < 30; ++round) {
+    const TraceFile original = RandomTrace(rng);
+    const TraceFile parsed = FromBinary(ToBinary(original));
+    EXPECT_EQ(parsed.benchmark, original.benchmark);
+    ASSERT_EQ(parsed.sequences.size(), original.sequences.size());
+    EXPECT_EQ(parsed.sequence_names, original.sequence_names);
+    for (std::size_t s = 0; s < parsed.sequences.size(); ++s) {
+      ExpectIdentical(original.sequences[s], parsed.sequences[s]);
+    }
+  }
+}
+
+TEST(TraceStream, BinaryRoundTripCrossesChunkBoundaries) {
+  // One sequence far beyond the reader's 16384-word decode chunk.
+  TraceFile file;
+  file.benchmark = "big";
+  file.sequence_names.push_back("s");
+  AccessSequence seq;
+  for (std::size_t v = 0; v < 7; ++v) seq.AddVariable("v" + std::to_string(v));
+  for (std::size_t i = 0; i < 40000; ++i) {
+    seq.Append(static_cast<VariableId>(i % 7),
+               i % 3 == 0 ? AccessType::kWrite : AccessType::kRead);
+  }
+  file.sequences.push_back(std::move(seq));
+  const TraceFile parsed = FromBinary(ToBinary(file));
+  ASSERT_EQ(parsed.sequences.size(), 1u);
+  ExpectIdentical(file.sequences[0], parsed.sequences[0]);
+}
+
+TEST(TraceStream, StreamingSinkSeesSequencesInOrderWithoutMaterializing) {
+  util::Rng rng(0x777);
+  const TraceFile original = RandomTrace(rng);
+  const std::string text = WriteTraceToString(original);
+  std::istringstream in(text);
+  std::vector<std::string> names;
+  std::vector<AccessSequence> sequences;
+  const TraceSummary summary = StreamTextTrace(
+      in,
+      [&](const std::string& name, AccessSequence seq) {
+        names.push_back(name);
+        sequences.push_back(std::move(seq));
+      },
+      {/*require_total=*/true});
+  EXPECT_EQ(summary.benchmark, original.benchmark);
+  EXPECT_EQ(summary.sequences, original.sequences.size());
+  ASSERT_EQ(sequences.size(), original.sequences.size());
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    ExpectSameAccesses(original.sequences[s], sequences[s]);
+  }
+}
+
+TEST(TraceStream, TotalFooterCatchesTruncationAndGarbage) {
+  const auto sink = [](const std::string&, AccessSequence) {};
+  const TraceStreamOptions strict{/*require_total=*/true};
+  // Missing footer.
+  std::istringstream missing("sequence s\na b a\n");
+  EXPECT_THROW(StreamTextTrace(missing, sink, strict), std::runtime_error);
+  // Wrong counts.
+  std::istringstream wrong("sequence s\na b a\ntotal 1 4\n");
+  EXPECT_THROW(StreamTextTrace(wrong, sink), std::runtime_error);
+  // Non-numeric fields.
+  std::istringstream garbage("sequence s\na b a\ntotal one 3\n");
+  EXPECT_THROW(StreamTextTrace(garbage, sink), std::runtime_error);
+  std::istringstream arity("sequence s\na b a\ntotal 1\n");
+  EXPECT_THROW(StreamTextTrace(arity, sink), std::runtime_error);
+  // Content after the footer.
+  std::istringstream tail("sequence s\na b a\ntotal 1 3\nsequence t\n");
+  EXPECT_THROW(StreamTextTrace(tail, sink), std::runtime_error);
+  // A consistent footer passes.
+  std::istringstream ok("sequence s\na b a\ntotal 1 3\n");
+  const TraceSummary summary = StreamTextTrace(ok, sink, strict);
+  EXPECT_EQ(summary.accesses, 3u);
+}
+
+TEST(TraceStream, TextTruncationFuzzNeverPassesSilently) {
+  util::Rng rng(0xF00D);
+  for (int round = 0; round < 20; ++round) {
+    const TraceFile original = RandomTrace(rng);
+    const std::string text = WriteTraceToString(original);
+    std::uint64_t original_accesses = 0;
+    for (const auto& seq : original.sequences) {
+      original_accesses += seq.size();
+    }
+    for (int cut = 0; cut < 8; ++cut) {
+      const std::size_t keep = rng.NextBelow(text.size());
+      std::istringstream in(text.substr(0, keep));
+      // Every strict prefix must either fail cleanly or — when the cut
+      // only removed trailing whitespace — parse to the FULL trace;
+      // a silently shorter parse is the bug this guards against.
+      try {
+        std::uint64_t accesses = 0;
+        std::size_t sequences = 0;
+        const TraceSummary summary = StreamTextTrace(
+            in,
+            [&](const std::string&, AccessSequence seq) {
+              accesses += seq.size();
+              ++sequences;
+            },
+            {/*require_total=*/true});
+        EXPECT_EQ(accesses, original_accesses);
+        EXPECT_EQ(sequences, original.sequences.size());
+        EXPECT_EQ(summary.accesses, original_accesses);
+      } catch (const std::runtime_error&) {
+        // Clean rejection is the expected outcome.
+      }
+    }
+  }
+}
+
+TEST(TraceStream, BinaryCorruptionFuzzAlwaysFailsCleanly) {
+  util::Rng rng(0xBEEF);
+  for (int round = 0; round < 10; ++round) {
+    const TraceFile original = RandomTrace(rng);
+    const std::string blob = ToBinary(original);
+    // Truncation at every kind of offset.
+    for (int cut = 0; cut < 12; ++cut) {
+      const std::size_t keep = rng.NextBelow(blob.size());
+      EXPECT_THROW((void)FromBinary(blob.substr(0, keep)),
+                   std::runtime_error)
+          << "truncated to " << keep << " of " << blob.size();
+    }
+    // Any single flipped byte is caught (the checksum covers the whole
+    // payload, and the stored checksum itself is compared).
+    for (int flip = 0; flip < 24; ++flip) {
+      std::string corrupt = blob;
+      const std::size_t at = rng.NextBelow(corrupt.size());
+      corrupt[at] = static_cast<char>(
+          corrupt[at] ^ static_cast<char>(1 + rng.NextBelow(255)));
+      EXPECT_THROW((void)FromBinary(corrupt), std::runtime_error)
+          << "flipped byte " << at << " of " << corrupt.size();
+    }
+    // Trailing garbage after a valid file.
+    EXPECT_THROW((void)FromBinary(blob + "x"), std::runtime_error);
+  }
+}
+
+TEST(TraceStream, BinaryHeaderValidation) {
+  util::Rng rng(0x51);
+  const std::string blob = ToBinary(RandomTrace(rng));
+  // Bad magic.
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_THROW((void)FromBinary(bad_magic), std::runtime_error);
+  // Unsupported version (byte 4 is the little-endian version LSB).
+  std::string bad_version = blob;
+  bad_version[4] = 9;
+  EXPECT_THROW((void)FromBinary(bad_version), std::runtime_error);
+  // Overflowed count: the sequence-count word sits right after the
+  // benchmark string (whose little-endian length lives at offset 12);
+  // patch it to 0xFFFFFFFF.
+  std::string bad_count = blob;
+  std::uint32_t bench_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    bench_len |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(blob[12 + i]))
+                 << (8 * i);
+  }
+  const std::size_t seq_count_offset = 12 + 4 + bench_len;
+  for (int i = 0; i < 4; ++i) bad_count[seq_count_offset + i] = '\xFF';
+  EXPECT_THROW((void)FromBinary(bad_count), std::runtime_error);
+  // Empty input.
+  EXPECT_THROW((void)FromBinary(""), std::runtime_error);
+}
+
+TEST(TraceStream, ReservedVariableNamesRoundTripViaLinePacking) {
+  // Variables named like directives ("total", "sequence") or comments
+  // ("#x") are legal mid-line; the writer must never break a line right
+  // before one. Enough accesses to cross several wrap points.
+  TraceFile file;
+  file.sequence_names.push_back("s");
+  AccessSequence seq;
+  const VariableId a = seq.AddVariable("a");
+  const VariableId total = seq.AddVariable("total");
+  const VariableId sequence = seq.AddVariable("sequence");
+  const VariableId comment = seq.AddVariable("#x");
+  seq.Append(a);
+  for (int i = 0; i < 40; ++i) {
+    seq.Append(total, i % 2 == 0 ? AccessType::kWrite : AccessType::kRead);
+    seq.Append(sequence);
+    seq.Append(comment);
+  }
+  file.sequences.push_back(std::move(seq));
+  const TraceFile parsed = ReadTraceFromString(WriteTraceToString(file));
+  ASSERT_EQ(parsed.sequences.size(), 1u);
+  ExpectSameAccesses(file.sequences[0], parsed.sequences[0]);
+  // A sequence whose FIRST access collides has no line to extend into:
+  // the writer must refuse rather than emit an unreadable file.
+  TraceFile bad;
+  bad.sequence_names.push_back("s");
+  AccessSequence leading;
+  leading.Append(leading.AddVariable("total"));
+  bad.sequences.push_back(std::move(leading));
+  EXPECT_THROW((void)WriteTraceToString(bad), std::runtime_error);
+  // The binary format has no directive grammar: same trace round-trips.
+  const TraceFile via_binary = FromBinary(ToBinary(bad));
+  ASSERT_EQ(via_binary.sequences.size(), 1u);
+  EXPECT_EQ(via_binary.sequences[0].name_of(0), "total");
+}
+
+TEST(TraceStream, SniffDispatchesBothFormats) {
+  util::Rng rng(0x99);
+  const TraceFile original = RandomTrace(rng);
+  {
+    std::istringstream in(ToBinary(original), std::ios::binary);
+    const TraceFile parsed = ReadAnyTrace(in);
+    EXPECT_EQ(parsed.benchmark, original.benchmark);
+    EXPECT_EQ(parsed.sequences.size(), original.sequences.size());
+  }
+  {
+    std::istringstream in(WriteTraceToString(original));
+    const TraceFile parsed = ReadAnyTrace(in);
+    EXPECT_EQ(parsed.benchmark, original.benchmark);
+    EXPECT_EQ(parsed.sequences.size(), original.sequences.size());
+  }
+}
+
+TEST(TraceStream, WorkedExampleFileParses) {
+  // tests/data/example.trace is the worked example in README.md's
+  // "Workloads" section; keep all three in sync.
+  const std::string path = std::string(RTMPLACE_TEST_DATA_DIR) +
+                           "/example.trace";
+  TraceFile file = LoadTraceFile(path, {/*require_total=*/true});
+  EXPECT_EQ(file.benchmark, "fir_filter");
+  ASSERT_EQ(file.sequences.size(), 2u);
+  EXPECT_EQ(file.sequence_names[0], "init");
+  EXPECT_EQ(file.sequence_names[1], "main_loop");
+  EXPECT_EQ(file.sequences[0].size(), 8u);
+  EXPECT_EQ(file.sequences[1].size(), 20u);
+  EXPECT_EQ(file.sequences[1].CountWrites(), 6u);
+  // Round-trip the example through the binary format too.
+  const TraceFile parsed = FromBinary(ToBinary(file));
+  for (std::size_t s = 0; s < file.sequences.size(); ++s) {
+    ExpectIdentical(file.sequences[s], parsed.sequences[s]);
+  }
+}
+
+}  // namespace
+}  // namespace rtmp::trace

@@ -1,0 +1,174 @@
+// Property tests over the workload registry: every registered workload
+// must be deterministic at a fixed seed (bit-identical across two
+// generations and under RTMPLACE_THREADS variation), must emit only
+// variable ids covered by its declared variable count, and must produce
+// non-empty benchmarks across the documented parameter ranges.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "offsetstone/suite.h"
+#include "workloads/synthetic.h"
+#include "workloads/workload.h"
+
+namespace rtmp::workloads {
+namespace {
+
+using offsetstone::Benchmark;
+
+/// Bit-identical benchmark comparison: names, variable tables (ids and
+/// spellings) and every access in order.
+void ExpectIdentical(const Benchmark& a, const Benchmark& b) {
+  EXPECT_EQ(a.name, b.name);
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (std::size_t s = 0; s < a.sequences.size(); ++s) {
+    const trace::AccessSequence& sa = a.sequences[s];
+    const trace::AccessSequence& sb = b.sequences[s];
+    EXPECT_EQ(sa.variable_names(), sb.variable_names()) << "sequence " << s;
+    EXPECT_EQ(sa.accesses(), sb.accesses()) << "sequence " << s;
+  }
+}
+
+TEST(WorkloadRegistry, EveryWorkloadIsDeterministicAtAFixedSeed) {
+  const WorkloadRequest request{/*seed=*/123, /*scale=*/0.5};
+  for (const std::string& name : WorkloadRegistry::Global().Names()) {
+    SCOPED_TRACE(name);
+    const auto workload = WorkloadRegistry::Global().Find(name);
+    ASSERT_NE(workload, nullptr);
+    const Benchmark first = workload->Generate(request);
+    // Generation must not consult the thread-count environment (it runs
+    // on experiment worker threads): vary it between two generations.
+    ASSERT_EQ(setenv("RTMPLACE_THREADS", "3", /*overwrite=*/1), 0);
+    const Benchmark second = workload->Generate(request);
+    ASSERT_EQ(unsetenv("RTMPLACE_THREADS"), 0);
+    const Benchmark third = workload->Generate(request);
+    ExpectIdentical(first, second);
+    ExpectIdentical(first, third);
+  }
+}
+
+TEST(WorkloadRegistry, DeclaredVariableCountCoversEveryEmittedId) {
+  const WorkloadRequest request{/*seed=*/7, /*scale=*/1.0};
+  for (const std::string& name : WorkloadRegistry::Global().Names()) {
+    SCOPED_TRACE(name);
+    const Benchmark benchmark =
+        WorkloadRegistry::Global().Find(name)->Generate(request);
+    for (const trace::AccessSequence& seq : benchmark.sequences) {
+      ASSERT_GT(seq.num_variables(), 0u);
+      trace::VariableId max_id = 0;
+      for (const trace::Access& access : seq.accesses()) {
+        max_id = std::max(max_id, access.variable);
+      }
+      // Consistency both ways: no access outside the declared table,
+      // and the table is not declared absurdly beyond what the name
+      // table holds (ids are dense by construction).
+      EXPECT_LT(max_id, seq.num_variables());
+      EXPECT_EQ(seq.variable_names().size(), seq.num_variables());
+    }
+  }
+}
+
+TEST(WorkloadRegistry, NonEmptyAcrossDocumentedParameterRanges) {
+  for (const double scale : {0.25, 1.0, 2.0}) {
+    for (const std::uint64_t seed : {0ULL, 1ULL}) {
+      const WorkloadRequest request{seed, scale};
+      for (const std::string& name : WorkloadRegistry::Global().Names()) {
+        SCOPED_TRACE(name + " scale=" + std::to_string(scale) +
+                     " seed=" + std::to_string(seed));
+        const Benchmark benchmark =
+            WorkloadRegistry::Global().Find(name)->Generate(request);
+        ASSERT_FALSE(benchmark.sequences.empty());
+        std::size_t accesses = 0;
+        for (const auto& seq : benchmark.sequences) accesses += seq.size();
+        EXPECT_GT(accesses, 0u);
+      }
+    }
+  }
+}
+
+TEST(WorkloadRegistry, OutOfRangeScaleIsRejectedEverywhere) {
+  for (const std::string& name : WorkloadRegistry::Global().Names()) {
+    SCOPED_TRACE(name);
+    const auto workload = WorkloadRegistry::Global().Find(name);
+    EXPECT_THROW((void)workload->Generate({0, 0.0}), std::invalid_argument);
+    EXPECT_THROW((void)workload->Generate({0, -1.0}), std::invalid_argument);
+    EXPECT_THROW((void)workload->Generate({0, 17.0}), std::invalid_argument);
+  }
+}
+
+TEST(WorkloadRegistry, SuiteWorkloadAtScaleOneMatchesTheSuiteGenerator) {
+  // The registry must not fork the suite: "gsm" at scale 1 IS the suite
+  // benchmark the figures run on.
+  const auto profile = offsetstone::FindProfile("gsm");
+  ASSERT_TRUE(profile.has_value());
+  const Benchmark from_suite = offsetstone::Generate(*profile, /*seed=*/0);
+  const Benchmark from_registry =
+      WorkloadRegistry::Global().Find("gsm")->Generate({0, 1.0});
+  ExpectIdentical(from_suite, from_registry);
+  // Half scale keeps a deterministic prefix of the same sequences.
+  const Benchmark half =
+      WorkloadRegistry::Global().Find("gsm")->Generate({0, 0.5});
+  ASSERT_LT(half.sequences.size(), from_suite.sequences.size());
+  for (std::size_t s = 0; s < half.sequences.size(); ++s) {
+    EXPECT_EQ(half.sequences[s].accesses(), from_suite.sequences[s].accesses());
+  }
+}
+
+TEST(WorkloadRegistry, RegistrationValidatesNames) {
+  WorkloadRegistry registry;
+  RegisterBuiltinWorkloads(registry);
+  EXPECT_GE(registry.size(), 45u);
+  const auto factory = [] {
+    return WorkloadRegistry::Global().Find("stencil");
+  };
+  EXPECT_THROW(registry.Register("", factory), std::invalid_argument);
+  EXPECT_THROW(registry.Register("has space", factory),
+               std::invalid_argument);
+  EXPECT_THROW(registry.Register("stencil", factory), std::invalid_argument);
+  EXPECT_THROW(registry.Register("STENCIL", factory), std::invalid_argument);
+  registry.Register("my-trace", factory);
+  EXPECT_TRUE(registry.Contains("MY-TRACE"));  // case-insensitive
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+}
+
+TEST(WorkloadRegistry, ResolveFallsBackToTraceFiles) {
+  EXPECT_NE(ResolveWorkload("fft-butterfly"), nullptr);
+  EXPECT_EQ(ResolveWorkload("definitely-not-registered"), nullptr);
+
+  const std::string path = testing::TempDir() + "/resolve_test.trace";
+  {
+    std::ofstream out(path);
+    out << "benchmark tiny\nsequence s0\na b a! c\n";
+  }
+  const auto workload = ResolveWorkload(path);
+  ASSERT_NE(workload, nullptr);
+  EXPECT_EQ(workload->Describe().family, "trace");
+  const Benchmark benchmark = workload->Generate({});
+  EXPECT_EQ(benchmark.name, "tiny");
+  ASSERT_EQ(benchmark.sequences.size(), 1u);
+  EXPECT_EQ(benchmark.sequences[0].size(), 4u);
+  EXPECT_EQ(benchmark.sequences[0].num_variables(), 3u);
+}
+
+TEST(SyntheticFamilies, StructuralShapesHold) {
+  util::Rng rng(1);
+  // The stencil writes exactly once per cell per step.
+  const auto stencil = GenerateStencil({4, 4, 2}, rng);
+  EXPECT_EQ(stencil.num_variables(), 16u);
+  EXPECT_EQ(stencil.CountWrites(), 4u * 4u * 2u);
+  // The butterfly touches n points over log2(n) stages, half writes.
+  const auto fft = GenerateFftButterfly({16, 1}, rng);
+  EXPECT_EQ(fft.num_variables(), 16u);
+  EXPECT_EQ(fft.size(), 16u * 4u /*log2*/ * 2u);
+  EXPECT_EQ(fft.CountWrites(), fft.size() / 2);
+  // The chase stays on the cycle: every step touches a registered node.
+  const auto chase = GeneratePointerChase({8, 64, 0.0, 0.0}, rng);
+  EXPECT_EQ(chase.size(), 64u);
+  EXPECT_EQ(chase.CountWrites(), 0u);
+}
+
+}  // namespace
+}  // namespace rtmp::workloads
