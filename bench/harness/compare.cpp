@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <map>
+#include <set>
 #include <utility>
 
 namespace rtmp::benchtool {
@@ -131,10 +132,24 @@ Comparison CompareReports(const BenchReport& golden,
     comparison.diffs.push_back(std::move(diff));
   };
 
+  // Disjoint keys never throw: a key present on only one side is
+  // reported by name ("missing ..." for removed, "added ..." for new) so
+  // `rtmbench diff` across scenario revisions names exactly what grew or
+  // shrank instead of failing with bare counts. Duplicate keys in the
+  // current report are flagged too — the match maps would otherwise
+  // silently compare only the first occurrence.
+
   // -- cells, matched by (benchmark, dbcs, strategy) -----------------------
   std::map<std::string, const sim::RunResult*> current_cells;
   for (const sim::RunResult& cell : current.cells) {
-    current_cells.emplace(CellKey(cell), &cell);
+    if (!current_cells.emplace(CellKey(cell), &cell).second) {
+      structural_fail("duplicate cell " + CellKey(cell) +
+                      " in current report");
+    }
+  }
+  std::set<std::string> golden_cell_keys;
+  for (const sim::RunResult& cell : golden.cells) {
+    golden_cell_keys.insert(CellKey(cell));
   }
   for (const sim::RunResult& golden_cell : golden.cells) {
     const auto it = current_cells.find(CellKey(golden_cell));
@@ -162,19 +177,21 @@ Comparison CompareReports(const BenchReport& golden,
                golden_metrics[m].second, current_metrics[m].second);
     }
   }
-  if (current.cells.size() > golden.cells.size()) {
-    // Extra cells are fine for a diff but suspicious for a golden check:
-    // flag them so a scenario that silently grew is noticed.
-    structural_fail("current report has " +
-                    std::to_string(current.cells.size()) +
-                    " cells, golden has " +
-                    std::to_string(golden.cells.size()));
+  // Extra cells are fine for a diff but suspicious for a golden check:
+  // flag each by key so a scenario that silently grew is noticed.
+  for (const auto& [key, cell] : current_cells) {
+    if (!golden_cell_keys.contains(key)) {
+      structural_fail("added cell " + key);
+    }
   }
 
   // -- scalars, matched by name -------------------------------------------
   std::map<std::string, double> current_scalars;
   for (const ScalarResult& scalar : current.scalars) {
-    current_scalars.emplace(scalar.name, scalar.value);
+    if (!current_scalars.emplace(scalar.name, scalar.value).second) {
+      structural_fail("duplicate scalar " + scalar.name +
+                      " in current report");
+    }
   }
   for (const ScalarResult& golden_scalar : golden.scalars) {
     const auto it = current_scalars.find(golden_scalar.name);
@@ -184,17 +201,24 @@ Comparison CompareReports(const BenchReport& golden,
     }
     add_diff("scalar", golden_scalar.name, golden_scalar.value, it->second);
   }
-  if (current.scalars.size() > golden.scalars.size()) {
-    structural_fail("current report has " +
-                    std::to_string(current.scalars.size()) +
-                    " scalars, golden has " +
-                    std::to_string(golden.scalars.size()));
+  {
+    std::set<std::string> golden_scalars;
+    for (const ScalarResult& scalar : golden.scalars) {
+      golden_scalars.insert(scalar.name);
+    }
+    for (const auto& [name, value] : current_scalars) {
+      if (!golden_scalars.contains(name)) {
+        structural_fail("added scalar " + name);
+      }
+    }
   }
 
   // -- checks: a pass in the golden must not regress -----------------------
   std::map<std::string, bool> current_checks;
   for (const CheckResult& check : current.checks) {
-    current_checks.emplace(check.name, check.pass);
+    if (!current_checks.emplace(check.name, check.pass).second) {
+      structural_fail("duplicate check " + check.name + " in current report");
+    }
   }
   for (const CheckResult& golden_check : golden.checks) {
     const auto it = current_checks.find(golden_check.name);
@@ -214,11 +238,16 @@ Comparison CompareReports(const BenchReport& golden,
       comparison.diffs.push_back(std::move(diff));
     }
   }
-  if (current.checks.size() > golden.checks.size()) {
-    structural_fail("current report has " +
-                    std::to_string(current.checks.size()) +
-                    " checks, golden has " +
-                    std::to_string(golden.checks.size()));
+  {
+    std::set<std::string> golden_checks;
+    for (const CheckResult& check : golden.checks) {
+      golden_checks.insert(check.name);
+    }
+    for (const auto& [name, pass] : current_checks) {
+      if (!golden_checks.contains(name)) {
+        structural_fail("added check " + name);
+      }
+    }
   }
 
   return comparison;

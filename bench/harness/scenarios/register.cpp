@@ -7,6 +7,7 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   // should show. The rest follow the paper's presentation order.
   scenarios::RegisterSmoke(registry);
   scenarios::RegisterWorkloadsSmoke(registry);
+  scenarios::RegisterFigOnline(registry);
   scenarios::RegisterTable1DeviceParams(registry);
   scenarios::RegisterFig3Example(registry);
   scenarios::RegisterFig4Shifts(registry);

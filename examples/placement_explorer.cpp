@@ -9,11 +9,15 @@
 //   $ ./placement_explorer compare stencil 8 --json out.json
 //   $ ./placement_explorer strategies --json strategies.json
 //   $ ./placement_explorer workloads
+//   $ ./placement_explorer online "phased(gemm-tiled,stream-scan)"
+//       online-ewma-dma-sr 4       (one command line)
 //
 // This is what a user integrating rtmplace into their own flow would
-// script against: pick a workload (any registered name or an external
-// trace file, text or binary), pick a strategy, inspect the resulting
-// layout and costs.
+// script against: pick a workload (any registered name, a
+// phased(a,b,...) splice, or an external trace file, text or binary),
+// pick a strategy — or an online policy, served through the adaptive
+// engine with migration charged — and inspect the resulting layout and
+// costs.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -22,7 +26,10 @@
 #include "core/inter_dma.h"
 #include "core/strategy_registry.h"
 #include "offsetstone/suite.h"
+#include "online/online_cell.h"
+#include "online/policy.h"
 #include "rtm/config.h"
+#include "sim/experiment.h"
 #include "sim/simulator.h"
 #include "trace/liveliness.h"
 #include "trace/trace_io.h"
@@ -32,6 +39,7 @@
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "workloads/phased.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -49,14 +57,20 @@ int Usage() {
       "  placement_explorer compare <workload> <dbcs> [--json <file>]\n"
       "  placement_explorer strategies [--json <file>]\n"
       "  placement_explorer workloads [--json <file>]\n"
-      "\n<workload> is a registered workload name or a trace-file path "
-      "(text or binary).\n"
+      "  placement_explorer online <workload> <policy> <dbcs>\n"
+      "\n<workload> is a registered workload name, a phased(a,b,...) "
+      "splice of\nregistered workloads, or a trace-file path (text or "
+      "binary).\n"
       "\nstrategies (from the registry):");
   for (const auto& name : core::RegisteredStrategyNames()) {
     std::printf(" %s", name.c_str());
   }
   std::printf("\nworkloads (from the registry):");
   for (const auto& name : workloads::WorkloadRegistry::Global().Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nonline policies (from the registry):");
+  for (const auto& name : online::OnlinePolicyRegistry::Global().Names()) {
     std::printf(" %s", name.c_str());
   }
   std::printf("\n");
@@ -133,6 +147,11 @@ int CmdWorkloads(const std::string& json_path) {
     const auto info = registry.Describe(name);
     rows.push_back({name, info->family, info->summary});
   }
+  // The splice combinator is spec syntax, not a registry entry — list it
+  // alongside so it is discoverable where workloads are discovered.
+  rows.push_back({"phased(a,b,...)", "combinator",
+                  "splice any workloads above into one phase-change "
+                  "workload (shared positional variable space)"});
   return ListRegistry("workloads", "family", "family", rows, json_path);
 }
 
@@ -178,7 +197,9 @@ int CmdSuite(const std::string& spec) {
 
 int CmdExport(const std::string& spec, const std::string& path) {
   trace::TraceFile file;
-  if (!workloads::WorkloadRegistry::Global().Contains(spec)) {
+  const bool generated = workloads::WorkloadRegistry::Global().Contains(spec) ||
+                         workloads::ParsePhasedSpec(spec).has_value();
+  if (!generated) {
     // Trace-file spec: read the file directly so format conversion
     // (text <-> binary) preserves the original sequence names, which
     // the Benchmark type does not carry.
@@ -314,6 +335,72 @@ int CmdCompare(const std::string& spec, unsigned dbcs,
   return 0;
 }
 
+int CmdOnline(const std::string& spec, const std::string& policy_name,
+              unsigned dbcs) {
+  const auto policy = online::OnlinePolicyRegistry::Global().Find(policy_name);
+  if (!policy) {
+    std::fprintf(stderr,
+                 "unknown online policy '%s' (the usage footer lists the "
+                 "registered ones)\n",
+                 policy_name.c_str());
+    return 1;
+  }
+  const auto benchmark = LoadBenchmark(spec);
+  const auto& info = policy->Describe();
+  std::printf("online %s on %s, %u DBCs (re-seed %s, detector %s)\n\n",
+              info.name.c_str(), benchmark.name.c_str(), dbcs,
+              info.reseed_strategy.c_str(), info.detector.c_str());
+
+  sim::ExperimentOptions options;
+  options.search_effort = sim::SearchEffortFromEnv(0.1);
+  std::uint64_t total_shifts = 0;
+  std::uint64_t total_migration_shifts = 0;
+  std::size_t total_migrations = 0;
+  for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
+    const auto& seq = benchmark.sequences[s];
+    if (seq.num_variables() == 0) continue;
+    const rtm::RtmConfig config = sim::CellConfig(dbcs, seq.num_variables());
+    const online::OnlineConfig online_config = online::CellOnlineConfig(
+        *policy, config, options, benchmark.name, s, dbcs);
+    const online::OnlineResult result =
+        online::RunOnline(seq, online_config, config);
+
+    std::printf("sequence %zu: %zu windows, %zu migrations (%zu vars), "
+                "%llu shifts = %llu service + %llu migration, %.1f ns\n",
+                s, result.windows.size(), result.migrations,
+                result.migrated_vars,
+                static_cast<unsigned long long>(result.amortized_shifts),
+                static_cast<unsigned long long>(result.service_shifts),
+                static_cast<unsigned long long>(result.migration_shifts),
+                result.stats.makespan_ns);
+    util::TextTable table;
+    table.SetHeader({"window", "accesses", "drift", "phase", "migrated",
+                     "mig shifts", "service shifts"});
+    table.SetAlignments({util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kLeft,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+    for (std::size_t w = 0; w < result.windows.size(); ++w) {
+      const online::WindowRecord& record = result.windows[w];
+      table.AddRow({std::to_string(w), std::to_string(record.accesses),
+                    util::FormatFixed(record.drift, 3),
+                    record.phase_change ? "yes" : "",
+                    std::to_string(record.migrated_vars),
+                    std::to_string(record.migration_shifts),
+                    std::to_string(record.service_shifts)});
+    }
+    std::fputs(table.Render().c_str(), stdout);
+    total_shifts += result.amortized_shifts;
+    total_migration_shifts += result.migration_shifts;
+    total_migrations += result.migrations;
+  }
+  std::printf("\ntotal: %llu shifts (%llu from %zu migrations)\n",
+              static_cast<unsigned long long>(total_shifts),
+              static_cast<unsigned long long>(total_migration_shifts),
+              total_migrations);
+  return 0;
+}
+
 /// Parses a trailing `[--json <file>]`; returns false (after printing
 /// usage) on anything else.
 bool ParseJsonFlag(int argc, char** argv, int first, std::string* json_path) {
@@ -347,6 +434,10 @@ int main(int argc, char** argv) {
       if (!ParseJsonFlag(argc, argv, 4, &json_path)) return Usage();
       return CmdCompare(argv[2], static_cast<unsigned>(std::stoul(argv[3])),
                         json_path);
+    }
+    if (argc >= 5 && std::string(argv[1]) == "online") {
+      return CmdOnline(argv[2], argv[3],
+                       static_cast<unsigned>(std::stoul(argv[4])));
     }
     if (argc >= 2 && std::string(argv[1]) == "strategies") {
       std::string json_path;

@@ -1,0 +1,318 @@
+#include "online/engine.h"
+
+#include <algorithm>
+#include <istream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cost_evaluator.h"
+#include "core/cost_model.h"
+#include "core/strategy_registry.h"
+#include "online/migration.h"
+#include "util/rng.h"
+
+namespace rtmp::online {
+
+std::uint64_t WindowSeed(std::uint64_t base, std::size_t window) {
+  if (window == 0) return base;
+  std::uint64_t state =
+      base + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(window);
+  return util::SplitMix64(state);
+}
+
+OnlineEngine::OnlineEngine(OnlineConfig config, rtm::RtmConfig device)
+    : config_(std::move(config)),
+      device_config_(std::move(device)),
+      controller_(device_config_, config_.controller),
+      detector_(config_.detector) {
+  if (config_.window_accesses == 0) {
+    throw std::invalid_argument("OnlineEngine: window_accesses must be >= 1");
+  }
+  if (!core::StrategyRegistry::Global().Contains(config_.reseed_strategy)) {
+    throw std::invalid_argument(
+        "OnlineEngine: unregistered re-seed strategy '" +
+        config_.reseed_strategy + "'");
+  }
+}
+
+trace::VariableId OnlineEngine::RegisterVariable(std::string_view name) {
+  if (finished_) {
+    throw std::logic_error("OnlineEngine: session already finished");
+  }
+  return window_seq_.AddVariable(std::string(name));
+}
+
+void OnlineEngine::Feed(std::string_view name, trace::AccessType type) {
+  Feed(RegisterVariable(name), type);
+}
+
+void OnlineEngine::Feed(trace::VariableId variable, trace::AccessType type) {
+  if (finished_) {
+    throw std::logic_error("OnlineEngine: session already finished");
+  }
+  if (variable >= window_seq_.num_variables()) {
+    throw std::out_of_range("OnlineEngine: unregistered variable id");
+  }
+  window_seq_.Append(variable, type);
+  if (window_seq_.size() >= config_.window_accesses) ProcessWindow();
+}
+
+void OnlineEngine::PlaceNewVariables() {
+  const std::size_t have = placement_.num_variables();
+  const std::size_t want = window_seq_.num_variables();
+  if (have == want) return;
+
+  std::vector<std::vector<trace::VariableId>> lists;
+  lists.reserve(placement_.num_dbcs());
+  for (std::uint32_t d = 0; d < placement_.num_dbcs(); ++d) {
+    lists.push_back(placement_.dbc(d));
+  }
+  core::Placement grown = core::Placement::FromLists(
+      std::move(lists), want, placement_.capacity());
+  for (trace::VariableId v = static_cast<trace::VariableId>(have); v < want;
+       ++v) {
+    // Emptiest DBC, lowest index on ties — deterministic and cheap. A
+    // variable's FIRST placement moves nothing, so it is not migration.
+    std::uint32_t best = grown.num_dbcs();
+    std::size_t best_size = 0;
+    for (std::uint32_t d = 0; d < grown.num_dbcs(); ++d) {
+      if (grown.FreeIn(d) == 0) continue;
+      if (best == grown.num_dbcs() || grown.dbc(d).size() < best_size) {
+        best = d;
+        best_size = grown.dbc(d).size();
+      }
+    }
+    if (best == grown.num_dbcs()) {
+      throw std::invalid_argument(
+          "OnlineEngine: device too small for the streamed variable space");
+    }
+    grown.Append(best, v);
+  }
+  placement_ = std::move(grown);
+}
+
+core::Placement OnlineEngine::Reseed() {
+  const auto strategy =
+      core::StrategyRegistry::Global().Find(config_.reseed_strategy);
+  core::PlacementRequest request;
+  request.sequence = &window_seq_;
+  request.num_dbcs = device_config_.total_dbcs();
+  request.capacity = device_config_.domains_per_dbc;
+  request.options = config_.strategy_options;
+  // Each stream derives from ITS configured base seed — window 0 uses
+  // both verbatim, so the single-window oracle holds even when a caller
+  // configures ga.seed != rw.seed.
+  request.options.ga.seed =
+      WindowSeed(config_.strategy_options.ga.seed, windows_processed_);
+  request.options.rw.seed =
+      WindowSeed(config_.strategy_options.rw.seed, windows_processed_);
+  // The engine prices windows itself (record.window_cost); skip the
+  // constructive strategies' analytic pass.
+  request.compute_cost = false;
+  core::PlacementResult placed = core::RunTimed(*strategy, request);
+  result_.placement_wall_ms += placed.wall_ms;
+  result_.evaluations += placed.evaluations;
+  return std::move(placed.placement);
+}
+
+bool OnlineEngine::Refine(WindowRecord& record) {
+  core::CostEvaluator evaluator(window_seq_, config_.strategy_options.cost);
+  evaluator.Bind(placement_);
+
+  // Hottest window variables first (frequency, then id, both
+  // deterministic).
+  std::vector<std::uint64_t> freq(window_seq_.num_variables(), 0);
+  for (const trace::Access& access : window_seq_.accesses()) {
+    ++freq[access.variable];
+  }
+  std::vector<trace::VariableId> hot;
+  for (trace::VariableId v = 0; v < freq.size(); ++v) {
+    if (freq[v] > 0) hot.push_back(v);
+  }
+  std::sort(hot.begin(), hot.end(),
+            [&freq](trace::VariableId a, trace::VariableId b) {
+              if (freq[a] != freq[b]) return freq[a] > freq[b];
+              return a < b;
+            });
+  if (hot.size() > config_.refine_top_k) hot.resize(config_.refine_top_k);
+
+  const std::uint64_t margin =
+      config_.charge_migration
+          ? EstimatedSingleMoveShifts(device_config_.domains_per_dbc)
+          : 0;
+  bool committed = false;
+  for (const trace::VariableId v : hot) {
+    const std::uint32_t home = evaluator.placement().SlotOf(v).dbc;
+    std::uint32_t best_dbc = home;
+    std::uint64_t best_cost = evaluator.Cost();
+    for (std::uint32_t d = 0; d < placement_.num_dbcs(); ++d) {
+      if (d == home || evaluator.placement().FreeIn(d) == 0) continue;
+      const std::uint64_t cost = evaluator.PeekMove(v, d);
+      ++result_.evaluations;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_dbc = d;
+      }
+    }
+    if (best_dbc == home) continue;
+    // Commit, then roll back unless the realized saving clears the
+    // per-move migration charge — the peek picked the target, the
+    // apply/undo pair makes the accept decision on the actual delta.
+    const std::uint64_t before = evaluator.Cost();
+    const std::uint64_t after = evaluator.ApplyMove(v, best_dbc);
+    if (after >= before || before - after <= margin) {
+      evaluator.Undo();
+      continue;
+    }
+    committed = true;
+  }
+  if (!committed) return false;
+
+  ChargeMigration(PlanMigration(placement_, evaluator.placement()), record);
+  placement_ = evaluator.placement();
+  return true;
+}
+
+void OnlineEngine::ChargeMigration(const MigrationPlan& plan,
+                                   WindowRecord& record) {
+  if (plan.empty()) return;
+  if (config_.charge_migration) {
+    const std::uint64_t shifts_before = controller_.stats().shifts;
+    (void)controller_.Execute(plan.requests);
+    const std::uint64_t shifts =
+        controller_.stats().shifts - shifts_before;
+    record.migration_shifts += shifts;
+    result_.migration_shifts += shifts;
+    result_.migration_accesses += plan.requests.size();
+    // One read at the old slot, one write at the new, per moved variable.
+    result_.reads += plan.moves.size();
+    result_.writes += plan.moves.size();
+  }
+  record.replaced = true;
+  record.migrated_vars += plan.moves.size();
+  ++result_.migrations;
+  result_.migrated_vars += plan.moves.size();
+}
+
+void OnlineEngine::ServeWindow(WindowRecord& record) {
+  std::vector<rtm::TimedRequest> requests;
+  requests.reserve(window_seq_.size());
+  for (const trace::Access& access : window_seq_.accesses()) {
+    const core::Slot slot = placement_.SlotOf(access.variable);
+    requests.push_back(
+        rtm::TimedRequest{0.0, slot.dbc, slot.offset, access.type});
+    if (access.type == trace::AccessType::kWrite) {
+      ++result_.writes;
+    } else {
+      ++result_.reads;
+    }
+  }
+  const std::uint64_t shifts_before = controller_.stats().shifts;
+  (void)controller_.Execute(requests);
+  record.service_shifts = controller_.stats().shifts - shifts_before;
+  result_.service_shifts += record.service_shifts;
+}
+
+void OnlineEngine::ProcessWindow() {
+  WindowRecord record;
+  record.begin = served_accesses_;
+  record.accesses = window_seq_.size();
+
+  // Every window feeds the detector — window 0 seeds the drift model so
+  // a phase seam right after it is visible.
+  const TransitionSummary summary =
+      SummarizeTransitions(window_seq_.accesses());
+  const PhaseDetector::Verdict verdict = detector_.Observe(summary);
+
+  if (!placed_) {
+    placement_ = Reseed();
+    placed_ = true;
+  } else {
+    PlaceNewVariables();
+    record.phase_change = verdict.phase_change;
+    record.drift = verdict.drift;
+    if (verdict.phase_change) {
+      core::Placement candidate = Reseed();
+      const MigrationPlan plan = PlanMigration(placement_, candidate);
+      if (!plan.empty()) {
+        bool accept = config_.always_accept_reseed;
+        if (!accept) {
+          // Migration-aware accept: the candidate must recoup its own
+          // traffic within the window that triggered it.
+          core::CostEvaluator evaluator(window_seq_,
+                                        config_.strategy_options.cost);
+          const std::uint64_t cost_keep = evaluator.Evaluate(placement_);
+          const std::uint64_t cost_candidate = evaluator.Evaluate(candidate);
+          result_.evaluations += 2;
+          const std::uint64_t charge =
+              config_.charge_migration ? plan.estimated_shifts : 0;
+          accept = cost_candidate + charge < cost_keep;
+        }
+        if (accept) {
+          ChargeMigration(plan, record);
+          placement_ = std::move(candidate);
+        }
+      }
+    } else if (config_.refine) {
+      (void)Refine(record);
+    }
+  }
+
+  record.window_cost =
+      core::ShiftCost(window_seq_, placement_, config_.strategy_options.cost);
+  result_.placement_cost += record.window_cost;
+  ServeWindow(record);
+  result_.windows.push_back(record);
+  served_accesses_ += window_seq_.size();
+  window_seq_.ClearAccesses();
+  ++windows_processed_;
+}
+
+OnlineResult OnlineEngine::Finish() {
+  if (finished_) {
+    throw std::logic_error("OnlineEngine: session already finished");
+  }
+  // Flush the trailing partial window; a never-fed session still places
+  // once so the result mirrors the static path on empty sequences.
+  if (!window_seq_.empty() || !placed_) ProcessWindow();
+  finished_ = true;
+
+  result_.stats = controller_.stats();
+  result_.energy = controller_.Energy();
+  result_.amortized_shifts =
+      result_.service_shifts + result_.migration_shifts;
+  result_.final_placement = placement_;
+  return std::move(result_);
+}
+
+OnlineResult RunOnline(const trace::AccessSequence& seq,
+                       const OnlineConfig& config,
+                       const rtm::RtmConfig& device) {
+  OnlineEngine engine(config, device);
+  // Pre-register the full variable space in id order: zero-access
+  // variables get placement slots exactly as the static strategies give
+  // them, keeping the single-window oracle bit-identical.
+  for (trace::VariableId v = 0; v < seq.num_variables(); ++v) {
+    (void)engine.RegisterVariable(seq.name_of(v));
+  }
+  for (const trace::Access& access : seq.accesses()) {
+    engine.Feed(access.variable, access.type);
+  }
+  return engine.Finish();
+}
+
+std::vector<OnlineTraceResult> RunOnlineOverTrace(
+    std::istream& in, const OnlineConfig& config,
+    const rtm::RtmConfig& device,
+    const trace::TraceStreamOptions& stream_options) {
+  std::vector<OnlineTraceResult> results;
+  (void)trace::StreamTrace(
+      in,
+      [&](const std::string& name, trace::AccessSequence sequence) {
+        results.push_back({name, RunOnline(sequence, config, device)});
+      },
+      stream_options);
+  return results;
+}
+
+}  // namespace rtmp::online

@@ -1,0 +1,229 @@
+// The online adaptive placement engine.
+//
+// The paper's strategies are offline: one placement per sequence, chosen
+// from the full trace. This engine serves the trace in windows and adapts
+// the placement while traffic flows, charging every adaptation as real
+// device work:
+//
+//  1. Accesses are buffered into fixed-size windows (the controller's
+//     batching epoch). A window is the unit of decision AND of service:
+//     the engine decides the layout for a window after collecting it,
+//     then issues it to the device — the epoch-batch model of runtime-
+//     reconfigurable racetrack systems (R4-style).
+//  2. At each window boundary a PhaseDetector (online/phase_detector.h)
+//     inspects the window's transition-weight distribution. On a declared
+//     phase change, the re-seed strategy — ANY registry strategy
+//     (core/strategy_registry.h) — produces a candidate placement from
+//     the window, and the engine accepts it only when the candidate's
+//     analytic window cost plus the migration estimate beats the current
+//     placement's window cost (migration-aware accept rule).
+//  3. Without a phase change the engine can still refine incrementally:
+//     a bounded greedy pass over the window's hottest variables, scored
+//     with core::CostEvaluator's PeekMove and committed/rolled back with
+//     ApplyMove/Undo, each move charged against a conservative per-move
+//     migration estimate.
+//  4. Every accepted layout change is realized by a MigrationPlanner
+//     traffic plan (online/migration.h) executed on the engine's live
+//     rtm::RtmController — the reported shifts, latency and energy
+//     therefore INCLUDE migration overhead, and track alignments carry
+//     across windows and migrations exactly as hardware would.
+//
+// Oracle property (pinned by tests/online_engine_test.cpp): with
+// detection disabled and one window covering the whole trace, the engine
+// degenerates to the wrapped static strategy — placement and analytic
+// cost are bit-identical, and the serial controller replay reproduces
+// sim::Simulate's shift count exactly. With migrations, total shifts
+// decompose into service + migration traffic, verified against an
+// independently spliced request stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/placement.h"
+#include "core/strategy.h"
+#include "online/phase_detector.h"
+#include "rtm/config.h"
+#include "rtm/controller.h"
+#include "rtm/energy_model.h"
+#include "trace/access_sequence.h"
+#include "trace/trace_stream.h"
+
+namespace rtmp::online {
+
+struct MigrationPlan;  // online/migration.h
+
+/// Sentinel for "one window covering the whole trace".
+inline constexpr std::size_t kWholeTraceWindow =
+    static_cast<std::size_t>(-1);
+
+struct OnlineConfig {
+  /// Registry strategy that seeds window 0 and re-seeds on phase changes.
+  std::string reseed_strategy = "dma-sr";
+  /// Accesses per window; kWholeTraceWindow = a single window.
+  std::size_t window_accesses = 256;
+  PhaseDetectorConfig detector{};
+  /// Charge migration traffic through the controller (read old slot,
+  /// write new slot per moved variable) and weigh it in the accept rule.
+  /// Off = migrations are free and accepted on window cost alone — an
+  /// upper-bound oracle, not a deployable configuration.
+  bool charge_migration = true;
+  /// Skip the accept rule and adopt every re-seed candidate. Used by the
+  /// decomposition tests (placements become pure per-window strategy
+  /// outputs) and by oracle studies.
+  bool always_accept_reseed = false;
+  /// Incremental refinement between phase changes (see header comment).
+  bool refine = false;
+  /// Hottest window variables the refinement pass may try to move.
+  std::size_t refine_top_k = 8;
+  /// Controller timing mode for service and migration traffic.
+  rtm::ControllerConfig controller{};
+  /// Strategy tuning handed to every re-seed run (effort, cost options,
+  /// base seeds). Window 0 uses the seeds verbatim — the single-window
+  /// oracle is bit-identical to the static strategy; later windows use
+  /// WindowSeed().
+  core::StrategyOptions strategy_options{};
+};
+
+/// Deterministic per-window search seed: window 0 returns `base`
+/// unchanged (oracle equality with the static strategy), later windows
+/// mix the index in.
+[[nodiscard]] std::uint64_t WindowSeed(std::uint64_t base,
+                                       std::size_t window);
+
+/// What happened at one window boundary.
+struct WindowRecord {
+  /// Index of the window's first access in the served sequence.
+  std::size_t begin = 0;
+  std::size_t accesses = 0;
+  /// Detector verdict for this window (always false for window 0).
+  bool phase_change = false;
+  double drift = 0.0;
+  /// The engine adopted a new placement before serving this window.
+  bool replaced = false;
+  std::size_t migrated_vars = 0;
+  std::uint64_t migration_shifts = 0;
+  std::uint64_t service_shifts = 0;
+  /// Analytic shift cost of the window under the placement that served
+  /// it (first-access-free per window; the device charge differs by the
+  /// carried-over alignments).
+  std::uint64_t window_cost = 0;
+};
+
+struct OnlineResult {
+  std::vector<WindowRecord> windows;
+  /// Windows whose placement changed (re-seed accepts + refinements).
+  std::size_t migrations = 0;
+  std::size_t migrated_vars = 0;
+  std::uint64_t service_shifts = 0;
+  std::uint64_t migration_shifts = 0;
+  /// service_shifts + migration_shifts == stats.shifts: the headline
+  /// "shifts including migration overhead" number.
+  std::uint64_t amortized_shifts = 0;
+  std::uint64_t migration_accesses = 0;
+  std::uint64_t reads = 0;   ///< incl. migration reads
+  std::uint64_t writes = 0;  ///< incl. migration writes
+  /// Controller view of the whole run (service + migration traffic).
+  rtm::ControllerStats stats{};
+  rtm::EnergyBreakdown energy{};
+  /// Sum of WindowRecord::window_cost (analytic, migration excluded).
+  std::uint64_t placement_cost = 0;
+  /// Wall time spent inside re-seed strategy runs.
+  double placement_wall_ms = 0.0;
+  /// Strategy evaluations plus refinement trial scores.
+  std::size_t evaluations = 0;
+  core::Placement final_placement{0, 1};
+};
+
+/// One streaming session: feed accesses (registering variable names on
+/// first appearance), then Finish(). Holds one window plus the placement
+/// and device state — never the whole trace.
+class OnlineEngine {
+ public:
+  /// Validates the configuration: the re-seed strategy must be
+  /// registered and window_accesses non-zero (the device configuration
+  /// validates itself through the controller). Throws
+  /// std::invalid_argument.
+  OnlineEngine(OnlineConfig config, rtm::RtmConfig device);
+
+  /// Registers a variable without accessing it (returns its id; idempotent
+  /// per name). Feed() registers on the fly; this exists so a caller that
+  /// knows the variable space up front — RunOnline does, for bit-equality
+  /// with the static strategies on sequences that declare zero-access
+  /// variables — can pre-populate it in id order.
+  trace::VariableId RegisterVariable(std::string_view name);
+
+  /// Appends one access, registering `name` on first appearance. A full
+  /// window is processed (decide + serve) before the call returns.
+  void Feed(std::string_view name, trace::AccessType type);
+
+  /// Allocation-free overload for callers with a pre-registered space
+  /// (RunOnline's hot loop): `variable` must be a previously returned
+  /// id, std::out_of_range otherwise.
+  void Feed(trace::VariableId variable, trace::AccessType type);
+
+  /// Flushes the trailing partial window and returns the run's result.
+  /// A session that never saw an access still runs the re-seed strategy
+  /// once over the (possibly empty) variable space, mirroring the static
+  /// path. The engine cannot be fed afterwards.
+  [[nodiscard]] OnlineResult Finish();
+
+  [[nodiscard]] std::size_t variables_seen() const noexcept {
+    return window_seq_.num_variables();
+  }
+
+ private:
+  void ProcessWindow();
+  /// Extends `placement_` over variables that appeared this window:
+  /// each goes to the emptiest DBC (lowest index on ties). First
+  /// placement of a variable is not migration — nothing moves.
+  void PlaceNewVariables();
+  /// Runs the re-seed strategy over the current window with the
+  /// per-window seed; accumulates wall time and evaluations.
+  [[nodiscard]] core::Placement Reseed();
+  /// Bounded greedy refinement of `placement_` (see header comment);
+  /// returns true when any move was committed.
+  bool Refine(WindowRecord& record);
+  /// Executes a migration plan on the controller and books it into
+  /// `record` and the running totals.
+  void ChargeMigration(const MigrationPlan& plan, WindowRecord& record);
+  /// Issues the window's accesses under `placement_`.
+  void ServeWindow(WindowRecord& record);
+
+  OnlineConfig config_;
+  rtm::RtmConfig device_config_;
+  rtm::RtmController controller_;
+  PhaseDetector detector_;
+  /// The rolling window buffer: the variable space accumulates across
+  /// the session (ids are feed order), the accesses are the CURRENT
+  /// window only (cleared after each ProcessWindow) — no per-window
+  /// name-table rebuild.
+  trace::AccessSequence window_seq_;
+  core::Placement placement_{0, 1};
+  bool placed_ = false;
+  bool finished_ = false;
+  std::size_t windows_processed_ = 0;
+  std::size_t served_accesses_ = 0;
+  OnlineResult result_;
+};
+
+/// Convenience: feeds a whole sequence through one session.
+[[nodiscard]] OnlineResult RunOnline(const trace::AccessSequence& seq,
+                                     const OnlineConfig& config,
+                                     const rtm::RtmConfig& device);
+
+/// Streaming entry point: runs every sequence of a trace stream (text or
+/// binary, sniffed by magic — see trace/trace_stream.h) through its own
+/// session, holding one sequence in memory at a time.
+struct OnlineTraceResult {
+  std::string sequence_name;
+  OnlineResult result;
+};
+[[nodiscard]] std::vector<OnlineTraceResult> RunOnlineOverTrace(
+    std::istream& in, const OnlineConfig& config,
+    const rtm::RtmConfig& device,
+    const trace::TraceStreamOptions& stream_options = {});
+
+}  // namespace rtmp::online

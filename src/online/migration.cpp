@@ -1,0 +1,84 @@
+#include "online/migration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtmp::online {
+
+namespace {
+
+/// Appends one ascending-offset sweep per DBC over `slots` and returns
+/// its first-access-free shift estimate. `slots` must already be sorted
+/// by (dbc, offset).
+std::uint64_t AppendSweep(const std::vector<core::Slot>& slots,
+                          trace::AccessType type,
+                          std::vector<rtm::TimedRequest>& requests) {
+  std::uint64_t shifts = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i > 0 && slots[i].dbc == slots[i - 1].dbc) {
+      shifts += slots[i].offset - slots[i - 1].offset;
+    }
+    requests.push_back(rtm::TimedRequest{0.0, slots[i].dbc, slots[i].offset,
+                                         type});
+  }
+  return shifts;
+}
+
+}  // namespace
+
+MigrationPlan PlanMigration(const core::Placement& from,
+                            const core::Placement& to) {
+  if (from.num_variables() != to.num_variables()) {
+    throw std::invalid_argument(
+        "PlanMigration: placements cover different variable spaces");
+  }
+  MigrationPlan plan;
+  for (trace::VariableId v = 0; v < from.num_variables(); ++v) {
+    const bool placed_from = from.IsPlaced(v);
+    if (placed_from != to.IsPlaced(v)) {
+      throw std::invalid_argument(
+          "PlanMigration: variable placed in only one placement");
+    }
+    if (!placed_from) continue;
+    const core::Slot old_slot = from.SlotOf(v);
+    const core::Slot new_slot = to.SlotOf(v);
+    if (old_slot == new_slot) continue;
+    plan.moves.push_back({v, old_slot, new_slot});
+  }
+  if (plan.moves.empty()) return plan;
+
+  // Reads sweep each source DBC in ascending old-offset order ...
+  std::sort(plan.moves.begin(), plan.moves.end(),
+            [](const MigrationMove& a, const MigrationMove& b) {
+              if (a.from.dbc != b.from.dbc) return a.from.dbc < b.from.dbc;
+              if (a.from.offset != b.from.offset) {
+                return a.from.offset < b.from.offset;
+              }
+              return a.variable < b.variable;
+            });
+  std::vector<core::Slot> slots;
+  slots.reserve(plan.moves.size());
+  for (const MigrationMove& move : plan.moves) slots.push_back(move.from);
+  plan.requests.reserve(2 * plan.moves.size());
+  plan.estimated_shifts +=
+      AppendSweep(slots, trace::AccessType::kRead, plan.requests);
+
+  // ... then the buffered words are written in target-DBC sweeps.
+  slots.clear();
+  for (const MigrationMove& move : plan.moves) slots.push_back(move.to);
+  std::sort(slots.begin(), slots.end(),
+            [](const core::Slot& a, const core::Slot& b) {
+              if (a.dbc != b.dbc) return a.dbc < b.dbc;
+              return a.offset < b.offset;
+            });
+  plan.estimated_shifts +=
+      AppendSweep(slots, trace::AccessType::kWrite, plan.requests);
+  return plan;
+}
+
+std::uint64_t EstimatedSingleMoveShifts(std::uint32_t domains_per_dbc) {
+  const std::uint64_t per_access = domains_per_dbc / 3;
+  return std::max<std::uint64_t>(2, 2 * per_access);
+}
+
+}  // namespace rtmp::online

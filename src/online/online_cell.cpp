@@ -1,0 +1,72 @@
+#include "online/online_cell.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/strategy.h"
+#include "online/policy.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace rtmp::online {
+
+sim::SimulationResult ToSimulationResult(const OnlineResult& result,
+                                         const rtm::RtmConfig& config) {
+  sim::SimulationResult sim_result;
+  sim_result.stats.reads = result.reads;
+  sim_result.stats.writes = result.writes;
+  sim_result.stats.shifts = result.stats.shifts;
+  sim_result.stats.runtime_ns = result.stats.makespan_ns;
+  sim_result.energy = result.energy;
+  sim_result.area_mm2 = config.params.area_mm2;
+  return sim_result;
+}
+
+OnlineConfig CellOnlineConfig(const OnlinePolicy& policy,
+                              const rtm::RtmConfig& config,
+                              const sim::ExperimentOptions& options,
+                              std::string_view benchmark_name,
+                              std::size_t sequence_index, unsigned dbcs) {
+  OnlineConfig online = policy.MakeConfig();
+  online.strategy_options.cost.initial_alignment = config.initial_alignment;
+  core::ScaleSearchEffort(online.strategy_options, options.search_effort);
+  // Same derivation as sim::RunCell: the window-0 re-seed of an
+  // online-static policy draws the exact seed its static twin draws.
+  const std::uint64_t seed =
+      util::HashString(benchmark_name) ^
+      (options.seed + sequence_index * 0x9E3779B9ULL + dbcs);
+  online.strategy_options.ga.seed = seed;
+  online.strategy_options.rw.seed = seed;
+  return online;
+}
+
+sim::RunResult RunOnlineCell(const offsetstone::Benchmark& benchmark,
+                             unsigned dbcs, std::string_view policy_name,
+                             const sim::ExperimentOptions& options) {
+  const auto policy = OnlinePolicyRegistry::Global().Find(policy_name);
+  if (!policy) {
+    throw std::invalid_argument("RunOnlineCell: unregistered online policy '" +
+                                std::string(policy_name) + "'");
+  }
+
+  sim::RunResult run;
+  run.benchmark = benchmark.name;
+  run.dbcs = dbcs;
+  run.strategy_name = util::ToLower(policy_name);
+
+  for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
+    const trace::AccessSequence& seq = benchmark.sequences[s];
+    if (seq.num_variables() == 0) continue;
+    const rtm::RtmConfig config = sim::CellConfig(dbcs, seq.num_variables());
+    const OnlineConfig online = CellOnlineConfig(*policy, config, options,
+                                                 benchmark.name, s, dbcs);
+    const OnlineResult result = RunOnline(seq, online, config);
+    run.placement_cost += result.placement_cost;
+    run.placement_wall_ms += result.placement_wall_ms;
+    run.search_evaluations += result.evaluations;
+    run.metrics.Accumulate(ToSimulationResult(result, config));
+  }
+  return run;
+}
+
+}  // namespace rtmp::online

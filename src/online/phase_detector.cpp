@@ -1,0 +1,181 @@
+#include "online/phase_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rtmp::online {
+
+namespace {
+
+constexpr std::uint64_t PackPair(trace::VariableId a,
+                                 trace::VariableId b) noexcept {
+  const std::uint64_t lo = std::min(a, b);
+  const std::uint64_t hi = std::max(a, b);
+  return (lo << 32) | hi;
+}
+
+/// Entries below this weight are dropped from the EWMA model: they no
+/// longer influence any drift decision but would otherwise accumulate
+/// across phases and grow the model without bound.
+constexpr double kModelFloor = 1e-9;
+
+}  // namespace
+
+TransitionSummary SummarizeTransitions(
+    std::span<const trace::Access> window) {
+  TransitionSummary summary;
+  if (window.size() < 2) return summary;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(window.size() - 1);
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    keys.push_back(PackPair(window[i - 1].variable, window[i].variable));
+  }
+  std::sort(keys.begin(), keys.end());
+  summary.weights.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size();) {
+    std::size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    summary.weights.emplace_back(keys[i], j - i);
+    i = j;
+  }
+  summary.total = keys.size();
+  return summary;
+}
+
+std::string_view ToString(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kNone:
+      return "none";
+    case DetectorKind::kFixedWindow:
+      return "fixed";
+    case DetectorKind::kEwmaDrift:
+      return "ewma";
+  }
+  return "none";
+}
+
+std::optional<DetectorKind> ParseDetectorKind(std::string_view name) {
+  if (name == "none") return DetectorKind::kNone;
+  if (name == "fixed") return DetectorKind::kFixedWindow;
+  if (name == "ewma") return DetectorKind::kEwmaDrift;
+  return std::nullopt;
+}
+
+PhaseDetector::PhaseDetector(PhaseDetectorConfig config) : config_(config) {
+  if (config_.kind == DetectorKind::kFixedWindow && config_.period == 0) {
+    throw std::invalid_argument("PhaseDetector: period must be >= 1");
+  }
+  if (config_.kind == DetectorKind::kEwmaDrift) {
+    if (!std::isfinite(config_.threshold) || config_.threshold < 0.0 ||
+        config_.threshold > 1.0) {
+      throw std::invalid_argument(
+          "PhaseDetector: threshold must be in [0, 1]");
+    }
+    if (!std::isfinite(config_.alpha) || config_.alpha <= 0.0 ||
+        config_.alpha > 1.0) {
+      throw std::invalid_argument("PhaseDetector: alpha must be in (0, 1]");
+    }
+  }
+}
+
+PhaseDetector::Verdict PhaseDetector::Observe(
+    const TransitionSummary& window) {
+  ++observed_;
+  Verdict verdict;
+  switch (config_.kind) {
+    case DetectorKind::kNone:
+      return verdict;
+    case DetectorKind::kFixedWindow:
+      // The first window seeds the initial placement; boundaries fall
+      // every `period` windows after it.
+      verdict.phase_change =
+          observed_ > 1 && (observed_ - 1) % config_.period == 0;
+      return verdict;
+    case DetectorKind::kEwmaDrift:
+      break;
+  }
+
+  // Normalize the window to a probability distribution; an empty window
+  // (fewer than two accesses) carries no signal and leaves the model
+  // untouched.
+  if (window.empty()) return verdict;
+  std::vector<std::pair<std::uint64_t, double>> current;
+  current.reserve(window.weights.size());
+  const double inv_total = 1.0 / static_cast<double>(window.total);
+  for (const auto& [key, weight] : window.weights) {
+    current.emplace_back(key, static_cast<double>(weight) * inv_total);
+  }
+
+  if (model_.empty()) {
+    // First informative window (or a fully pruned model): seed, don't
+    // compare — there is nothing meaningful to drift from.
+    model_ = std::move(current);
+    return verdict;
+  }
+
+  // Total variation distance: 0.5 * sum |p(k) - m(k)| over the merged
+  // key set. Both inputs are sorted by key.
+  double l1 = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < current.size() || j < model_.size()) {
+    if (j >= model_.size() ||
+        (i < current.size() && current[i].first < model_[j].first)) {
+      l1 += current[i].second;
+      ++i;
+    } else if (i >= current.size() || model_[j].first < current[i].first) {
+      l1 += model_[j].second;
+      ++j;
+    } else {
+      l1 += std::fabs(current[i].second - model_[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  verdict.drift = 0.5 * l1;
+  verdict.phase_change = verdict.drift > config_.threshold;
+
+  if (verdict.phase_change) {
+    // Restart the model from the new phase: a single long drift must not
+    // re-trigger on every subsequent window.
+    model_ = std::move(current);
+    return verdict;
+  }
+
+  // m = (1 - alpha) m + alpha p over the merged key set.
+  std::vector<std::pair<std::uint64_t, double>> updated;
+  updated.reserve(model_.size() + current.size());
+  const double keep = 1.0 - config_.alpha;
+  i = 0;
+  j = 0;
+  while (i < current.size() || j < model_.size()) {
+    double value = 0.0;
+    std::uint64_t key = 0;
+    if (j >= model_.size() ||
+        (i < current.size() && current[i].first < model_[j].first)) {
+      key = current[i].first;
+      value = config_.alpha * current[i].second;
+      ++i;
+    } else if (i >= current.size() || model_[j].first < current[i].first) {
+      key = model_[j].first;
+      value = keep * model_[j].second;
+      ++j;
+    } else {
+      key = current[i].first;
+      value = keep * model_[j].second + config_.alpha * current[i].second;
+      ++i;
+      ++j;
+    }
+    if (value > kModelFloor) updated.emplace_back(key, value);
+  }
+  model_ = std::move(updated);
+  return verdict;
+}
+
+void PhaseDetector::Reset() {
+  model_.clear();
+  observed_ = 0;
+}
+
+}  // namespace rtmp::online

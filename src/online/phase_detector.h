@@ -1,0 +1,107 @@
+// Phase detection over streaming access windows.
+//
+// The online placement engine (online/engine.h) consumes a trace in
+// fixed-size windows and must decide, at each window boundary, whether the
+// workload has entered a new phase — i.e. whether paying for a
+// re-placement (migration traffic) is worth considering at all. The
+// signal is the window's transition-weight distribution: how often each
+// unordered variable pair is accessed consecutively. That is exactly the
+// quantity the single-port shift cost decomposes into (see
+// core/cost_evaluator.h), but summarized globally (placement-independent),
+// so the detector needs no knowledge of the current layout.
+//
+// Two detector families are provided:
+//
+//  * kFixedWindow — declare a phase boundary every `period` windows.
+//    The classic epoch-based reconfiguration baseline (R4-style runtime
+//    reconfiguration on a timer).
+//  * kEwmaDrift — maintain an exponentially-weighted moving average of
+//    the transition distribution and declare a boundary when the total
+//    variation distance between the current window and the model exceeds
+//    `threshold`. The model resets to the new window on a boundary, so
+//    one long drift does not re-trigger every window.
+//
+// kNone never declares a boundary (the static/oracle configuration).
+// All detectors are deterministic: equal window streams yield equal
+// verdicts on every platform.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/access_sequence.h"
+
+namespace rtmp::online {
+
+/// Sparse distribution of consecutive-access variable pairs of one
+/// window. Keys pack the unordered pair (min << 32 | max); entries are
+/// sorted by key. Self-transitions (u == u) are counted too — they carry
+/// no shift cost but do carry phase information (a variable turning from
+/// streamed to hammered is a phase signal).
+struct TransitionSummary {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> weights;
+  std::uint64_t total = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return total == 0; }
+};
+
+/// Builds the transition summary of one window (consecutive pairs over
+/// the whole window, regardless of DBC assignment).
+[[nodiscard]] TransitionSummary SummarizeTransitions(
+    std::span<const trace::Access> window);
+
+enum class DetectorKind : std::uint8_t { kNone, kFixedWindow, kEwmaDrift };
+
+/// "none", "fixed", "ewma".
+[[nodiscard]] std::string_view ToString(DetectorKind kind);
+[[nodiscard]] std::optional<DetectorKind> ParseDetectorKind(
+    std::string_view name);
+
+struct PhaseDetectorConfig {
+  DetectorKind kind = DetectorKind::kNone;
+  /// kFixedWindow: boundary every `period` observed windows (>= 1).
+  std::size_t period = 1;
+  /// kEwmaDrift: boundary when total variation distance in [0, 1]
+  /// between the window and the model exceeds this.
+  double threshold = 0.35;
+  /// kEwmaDrift: model update weight in (0, 1]; higher forgets faster.
+  double alpha = 0.3;
+};
+
+class PhaseDetector {
+ public:
+  /// Validates the configuration (throws std::invalid_argument on a zero
+  /// period, a threshold outside [0, 1] or an alpha outside (0, 1]).
+  explicit PhaseDetector(PhaseDetectorConfig config);
+
+  struct Verdict {
+    bool phase_change = false;
+    /// Drift score that produced the verdict: total variation distance
+    /// for kEwmaDrift, 0 otherwise.
+    double drift = 0.0;
+  };
+
+  /// Feeds one window's summary; returns whether a phase boundary is
+  /// declared at this window. The first observed window never declares a
+  /// boundary (there is nothing to drift from); it seeds the model.
+  Verdict Observe(const TransitionSummary& window);
+
+  /// Returns to the just-constructed state.
+  void Reset();
+
+  [[nodiscard]] const PhaseDetectorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  PhaseDetectorConfig config_;
+  /// kEwmaDrift: normalized model distribution, sorted by key.
+  std::vector<std::pair<std::uint64_t, double>> model_;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace rtmp::online

@@ -1,0 +1,135 @@
+// Online-policy registry: the name-keyed dispatch layer for online
+// placement policies, mirroring the strategy registry (solution side)
+// and the workload registry (input side).
+//
+// An online policy is a named OnlineConfig recipe: which registry
+// strategy re-seeds the placement, which phase detector triggers
+// re-placement, how large the windows are, and whether migration is
+// charged. Policies enter the evaluation matrix by name exactly like
+// strategies do — sim::RunCell resolves a name it does not find in the
+// strategy registry here, so `ExperimentOptions::extra_strategies`,
+// `rtmbench` scenarios and `placement_explorer online` all accept policy
+// names interchangeably with strategy names.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "online/engine.h"
+
+namespace rtmp::online {
+
+/// Self-description of a registered online policy.
+struct OnlinePolicyInfo {
+  /// Registry key: lowercase, unique ("online-ewma-dma-sr", ...).
+  std::string name;
+  /// One-line human-readable description for listings and docs.
+  std::string summary;
+  /// Registry name of the re-seed strategy the policy wraps.
+  std::string reseed_strategy;
+  /// Detector family: "none", "fixed" or "ewma".
+  std::string detector;
+};
+
+/// Abstract online policy. Implementations must be stateless or
+/// internally synchronized: the experiment engine may call MakeConfig()
+/// from many threads concurrently on one instance.
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+
+  [[nodiscard]] virtual const OnlinePolicyInfo& Describe() const noexcept = 0;
+
+  /// The engine configuration this policy stands for. Callers stamp the
+  /// run-specific fields afterwards (strategy_options effort/seeds come
+  /// from the experiment, not the policy).
+  [[nodiscard]] virtual OnlineConfig MakeConfig() const = 0;
+};
+
+/// Name -> factory registry. Lookups are case-insensitive (names are
+/// normalized to lowercase); construction is lazy and the instance is
+/// cached. All members are thread-safe. Deliberately the same shape as
+/// core::StrategyRegistry and workloads::WorkloadRegistry.
+class OnlinePolicyRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<const OnlinePolicy>()>;
+
+  OnlinePolicyRegistry() = default;
+  OnlinePolicyRegistry(const OnlinePolicyRegistry&) = delete;
+  OnlinePolicyRegistry& operator=(const OnlinePolicyRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-in
+  /// policies (see RegisterBuiltinOnlinePolicies).
+  [[nodiscard]] static OnlinePolicyRegistry& Global();
+
+  /// Registers `factory` under `name` (normalized to lowercase). Throws
+  /// std::invalid_argument if the name is empty, contains characters
+  /// outside [a-z0-9._-], collides with a registered policy OR with a
+  /// registered placement strategy (the two registries share the
+  /// experiment engine's name space).
+  void Register(std::string name, Factory factory);
+
+  /// The policy registered under `name`; nullptr if unknown.
+  [[nodiscard]] std::shared_ptr<const OnlinePolicy> Find(
+      std::string_view name) const;
+
+  /// Metadata of the policy registered under `name`; nullopt if unknown.
+  [[nodiscard]] std::optional<OnlinePolicyInfo> Describe(
+      std::string_view name) const;
+
+  [[nodiscard]] bool Contains(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    /// Constructed on first lookup, under mutex_.
+    mutable std::shared_ptr<const OnlinePolicy> instance;
+  };
+
+  /// Requires mutex_ to be held by the caller.
+  [[nodiscard]] const Entry* FindEntry(const std::string& key) const;
+
+  mutable std::mutex mutex_;
+  // Sorted by key; small enough (tens of policies) that a flat vector
+  // beats a map.
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+/// Registers the built-in policies into `registry`:
+///
+///   online-static-<s>   one window over the whole trace, no detection —
+///                       the oracle wrapper, bit-identical to strategy s;
+///   online-fixed-<s>    256-access windows, re-seed considered every
+///                       window boundary (period-1 epoch baseline);
+///   online-ewma-<s>     256-access windows, EWMA-drift detection plus
+///                       CostEvaluator refinement between phases;
+///
+/// for s in {dma-sr, afd-ofu}. Global() calls this once; tests use it to
+/// build fresh registries.
+void RegisterBuiltinOnlinePolicies(OnlinePolicyRegistry& registry);
+
+/// Convenience used by the built-ins and available to external code: a
+/// policy that returns a fixed OnlineConfig under a fixed description.
+[[nodiscard]] std::shared_ptr<const OnlinePolicy> MakeFixedPolicy(
+    OnlinePolicyInfo info, OnlineConfig config);
+
+/// RAII self-registration into the Global() registry, for policies
+/// defined outside this library. Same linker caveat as
+/// core::StrategyRegistrar: keep registrars in a translation unit that
+/// is otherwise linked in.
+struct OnlinePolicyRegistrar {
+  OnlinePolicyRegistrar(std::string name,
+                        OnlinePolicyRegistry::Factory factory);
+};
+
+}  // namespace rtmp::online

@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "core/strategy_registry.h"
+#include "online/online_cell.h"
+#include "online/policy.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "workloads/workload.h"
@@ -17,20 +19,6 @@
 namespace rtmp::sim {
 
 namespace {
-
-/// The paper's device for `dbcs`, with the DBC depth widened when a
-/// sequence has more variables than the 4 KiB part can hold (cc65's 1336
-/// variables exceed the 1024 words of the 2-DBC config).
-rtm::RtmConfig ConfigFor(unsigned dbcs, std::size_t num_variables) {
-  rtm::RtmConfig config = rtm::RtmConfig::Paper(dbcs);
-  const std::uint64_t capacity = config.word_capacity();
-  if (num_variables > capacity) {
-    const auto per_dbc = static_cast<unsigned>(
-        (num_variables + dbcs - 1) / dbcs);
-    config.domains_per_dbc = per_dbc;
-  }
-  return config;
-}
 
 unsigned ResolveThreadCount(unsigned requested, std::size_t num_cells) {
   unsigned threads = requested;
@@ -42,6 +30,20 @@ unsigned ResolveThreadCount(unsigned requested, std::size_t num_cells) {
 }
 
 }  // namespace
+
+rtm::RtmConfig CellConfig(unsigned dbcs, std::size_t num_variables) {
+  // The paper's device for `dbcs`, with the DBC depth widened when a
+  // sequence has more variables than the 4 KiB part can hold (cc65's
+  // 1336 variables exceed the 1024 words of the 2-DBC config).
+  rtm::RtmConfig config = rtm::RtmConfig::Paper(dbcs);
+  const std::uint64_t capacity = config.word_capacity();
+  if (num_variables > capacity) {
+    const auto per_dbc = static_cast<unsigned>(
+        (num_variables + dbcs - 1) / dbcs);
+    config.domains_per_dbc = per_dbc;
+  }
+  return config;
+}
 
 void RunMetrics::Accumulate(const SimulationResult& result) {
   shifts += result.stats.shifts;
@@ -118,8 +120,23 @@ RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
                   const ExperimentOptions& options) {
   const auto runner = core::StrategyRegistry::Global().Find(strategy_name);
   if (!runner) {
-    throw std::invalid_argument("RunCell: unregistered strategy '" +
-                                std::string(strategy_name) + "'");
+    // Online policies share the strategy name space: a miss here is an
+    // online cell if the policy registry knows the name.
+    if (online::OnlinePolicyRegistry::Global().Contains(strategy_name)) {
+      return online::RunOnlineCell(benchmark, dbcs, strategy_name, options);
+    }
+    throw std::invalid_argument(
+        "RunCell: '" + std::string(strategy_name) +
+        "' is neither a registered strategy nor an online policy");
+  }
+  // The policy registry rejects strategy names at registration, but a
+  // strategy registered AFTER a policy would silently shadow it here —
+  // refuse to guess which one the caller meant.
+  if (online::OnlinePolicyRegistry::Global().Contains(strategy_name)) {
+    throw std::invalid_argument(
+        "RunCell: '" + std::string(strategy_name) +
+        "' names both a strategy and an online policy; re-register one "
+        "under a distinct name");
   }
 
   RunResult run;
@@ -134,7 +151,7 @@ RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
   for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
     const trace::AccessSequence& seq = benchmark.sequences[s];
     if (seq.num_variables() == 0) continue;
-    const rtm::RtmConfig config = ConfigFor(dbcs, seq.num_variables());
+    const rtm::RtmConfig config = CellConfig(dbcs, seq.num_variables());
 
     core::PlacementRequest request;
     request.sequence = &seq;

@@ -107,6 +107,14 @@ struct ExperimentOptions {
   double workload_scale = 1.0;
 };
 
+/// Device configuration of one experiment cell: the paper's device for
+/// `dbcs`, with the DBC depth widened when a sequence has more variables
+/// than the 4 KiB part can hold (see the "Oversized sequences" note in
+/// README.md). Static and online cells share this so their numbers stay
+/// comparable.
+[[nodiscard]] rtm::RtmConfig CellConfig(unsigned dbcs,
+                                        std::size_t num_variables);
+
 /// Reads ExperimentOptions::search_effort from the RTMPLACE_EFFORT
 /// environment variable (falls back to `fallback` when unset/invalid).
 [[nodiscard]] double SearchEffortFromEnv(double fallback);
@@ -140,9 +148,11 @@ struct ExperimentOptions {
     std::span<const std::string> workload_specs,
     const ExperimentOptions& options);
 
-/// Runs one benchmark / strategy / DBC-count cell. The strategy is
-/// resolved by name through StrategyRegistry::Global(); throws
-/// std::invalid_argument if it is not registered.
+/// Runs one benchmark / strategy / DBC-count cell. The name is resolved
+/// through StrategyRegistry::Global() first and, on a miss, through
+/// online::OnlinePolicyRegistry::Global() (online policies are cells
+/// like any other — see online/online_cell.h); throws
+/// std::invalid_argument if neither registry knows it.
 [[nodiscard]] RunResult RunCell(const offsetstone::Benchmark& benchmark,
                                 unsigned dbcs,
                                 std::string_view strategy_name,

@@ -57,6 +57,11 @@ class AccessSequence {
   /// Appends one access. The variable must have been registered.
   void Append(VariableId variable, AccessType type = AccessType::kRead);
 
+  /// Drops all accesses, keeping the registered variables. The online
+  /// engine reuses one sequence as its rolling window buffer this way —
+  /// names accumulate across windows, accesses do not.
+  void ClearAccesses() noexcept { accesses_.clear(); }
+
   /// Appends one textual access token — a variable name with an
   /// optional trailing '!' write marker ("acc!") — registering the name
   /// on first appearance. Throws std::invalid_argument on a bare "!".

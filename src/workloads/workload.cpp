@@ -9,6 +9,7 @@
 
 #include "trace/trace_stream.h"
 #include "util/strings.h"
+#include "workloads/phased.h"
 
 namespace rtmp::workloads {
 
@@ -158,6 +159,11 @@ std::shared_ptr<const Workload> MakeTraceFileWorkload(std::string path) {
 
 std::shared_ptr<const Workload> ResolveWorkload(std::string_view spec) {
   if (auto workload = WorkloadRegistry::Global().Find(spec)) return workload;
+  // phased(a,b,...) splice specs: parentheses are invalid registry
+  // characters, so the combinator can never shadow a registered name.
+  if (auto phases = ParsePhasedSpec(spec)) {
+    return MakePhasedWorkload(std::move(*phases));
+  }
   std::error_code ec;
   if (std::filesystem::is_regular_file(std::filesystem::path(spec), ec)) {
     return MakeTraceFileWorkload(std::string(spec));

@@ -147,9 +147,10 @@ void RegisterBuiltinWorkloads(WorkloadRegistry& registry);
 [[nodiscard]] std::shared_ptr<const Workload> MakeTraceFileWorkload(
     std::string path);
 
-/// Resolves a workload spec: a registered name wins; otherwise the spec
-/// is treated as a trace-file path (the file must exist). Returns
-/// nullptr when it is neither.
+/// Resolves a workload spec: a registered name wins; "phased(a,b,...)"
+/// specs build the splice combinator (workloads/phased.h); anything
+/// else is treated as a trace-file path (the file must exist). Returns
+/// nullptr when it is none of the three.
 [[nodiscard]] std::shared_ptr<const Workload> ResolveWorkload(
     std::string_view spec);
 

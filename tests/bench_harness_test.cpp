@@ -175,6 +175,62 @@ TEST(CompareReportsTest, SilentGrowthOfScalarsOrChecksFails) {
   EXPECT_FALSE(CompareReports(golden, more_checks).pass);
 }
 
+TEST(CompareReportsTest, DisjointKeysAreReportedByNameNotThrown) {
+  // Two reports of the same scenario whose scalar/check/cell key sets
+  // are fully disjoint — the `rtmbench diff` across-revision case. The
+  // comparison must complete (no throw) and name every added and
+  // removed key, not just count them.
+  const BenchReport golden = MakeReport();
+  BenchReport current = MakeReport();
+  current.cells.clear();
+  current.cells.push_back(MakeCell("new", 2, "online-ewma-dma-sr", 5));
+  current.scalars.clear();
+  current.scalars.push_back({"unit/other_metric", 1.0, ""});
+  current.checks.clear();
+  current.checks.push_back({"other check", true, false});
+
+  Comparison comparison;
+  ASSERT_NO_THROW(comparison = CompareReports(golden, current));
+  EXPECT_FALSE(comparison.pass);
+
+  const auto has_message = [&comparison](const std::string& needle) {
+    for (const std::string& message : comparison.structural) {
+      if (message.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  // Removed keys...
+  EXPECT_TRUE(has_message("missing cell gsm/8/dma-sr"));
+  EXPECT_TRUE(has_message("missing scalar unit/improvement"));
+  EXPECT_TRUE(has_message("missing check shape holds"));
+  // ... and added keys, each by name.
+  EXPECT_TRUE(has_message("added cell new/2/online-ewma-dma-sr"));
+  EXPECT_TRUE(has_message("added scalar unit/other_metric"));
+  EXPECT_TRUE(has_message("added check other check"));
+}
+
+TEST(CompareReportsTest, DuplicateKeysInCurrentReportFail) {
+  // A scenario bug that emits one key twice must not slip through the
+  // key-set match (only the first occurrence is value-compared).
+  const BenchReport golden = MakeReport();
+  BenchReport current = MakeReport();
+  current.cells.push_back(current.cells[0]);
+  Comparison comparison = CompareReports(golden, current);
+  EXPECT_FALSE(comparison.pass);
+  bool named = false;
+  for (const std::string& message : comparison.structural) {
+    named |= message.find("duplicate cell gsm/8/dma-sr") != std::string::npos;
+  }
+  EXPECT_TRUE(named);
+
+  BenchReport dup_scalar = MakeReport();
+  dup_scalar.scalars.push_back(dup_scalar.scalars[0]);
+  EXPECT_FALSE(CompareReports(golden, dup_scalar).pass);
+  BenchReport dup_check = MakeReport();
+  dup_check.checks.push_back(dup_check.checks[0]);
+  EXPECT_FALSE(CompareReports(golden, dup_check).pass);
+}
+
 TEST(CompareReportsTest, NonFiniteScalarsMatchEachOther) {
   // A deterministic NaN (stored as null in JSON) agrees with its golden;
   // NaN vs a finite value still fails.

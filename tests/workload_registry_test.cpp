@@ -5,12 +5,15 @@
 // non-empty benchmarks across the documented parameter ranges.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "offsetstone/suite.h"
+#include "workloads/phased.h"
 #include "workloads/synthetic.h"
 #include "workloads/workload.h"
 
@@ -151,6 +154,87 @@ TEST(WorkloadRegistry, ResolveFallsBackToTraceFiles) {
   ASSERT_EQ(benchmark.sequences.size(), 1u);
   EXPECT_EQ(benchmark.sequences[0].size(), 4u);
   EXPECT_EQ(benchmark.sequences[0].num_variables(), 3u);
+}
+
+TEST(PhasedCombinator, SplicesPhasesOverOnePositionalVariableSpace) {
+  const auto workload = ResolveWorkload("phased(gemm-tiled,stream-scan)");
+  ASSERT_NE(workload, nullptr);
+  EXPECT_EQ(workload->Describe().family, "combinator");
+  EXPECT_EQ(workload->Describe().name, "phased(gemm-tiled,stream-scan)");
+
+  const Benchmark spliced = workload->Generate({});
+  const Benchmark gemm =
+      ResolveWorkload("gemm-tiled")->Generate({});
+  const Benchmark scan =
+      ResolveWorkload("stream-scan")->Generate({});
+
+  EXPECT_EQ(spliced.name, "phased(gemm-tiled,stream-scan)");
+  EXPECT_EQ(spliced.sequences.size(),
+            std::max(gemm.sequences.size(), scan.sequences.size()));
+  for (std::size_t i = 0; i < spliced.sequences.size(); ++i) {
+    const auto& a = gemm.sequences[i % gemm.sequences.size()];
+    const auto& b = scan.sequences[i % scan.sequences.size()];
+    const auto& s = spliced.sequences[i];
+    // The seam is a pure concatenation: phase order, lengths and write
+    // flags are preserved, over max(|V_a|, |V_b|) shared "x<i>" vars.
+    ASSERT_EQ(s.size(), a.size() + b.size()) << "sequence " << i;
+    EXPECT_EQ(s.num_variables(),
+              std::max(a.num_variables(), b.num_variables()));
+    EXPECT_EQ(s.name_of(0), "x0");
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(s[k].variable, a[k].variable);
+      EXPECT_EQ(s[k].type, a[k].type);
+    }
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      EXPECT_EQ(s[a.size() + k].variable, b[k].variable);
+      EXPECT_EQ(s[a.size() + k].type, b[k].type);
+    }
+  }
+}
+
+TEST(PhasedCombinator, IsDeterministicAndSeedAware) {
+  const auto workload =
+      ResolveWorkload("phased(stencil,fft-butterfly,kv-churn)");
+  ASSERT_NE(workload, nullptr);
+  ExpectIdentical(workload->Generate({7, 1.0}), workload->Generate({7, 1.0}));
+  // A different seed reaches the phases.
+  const Benchmark a = workload->Generate({7, 1.0});
+  const Benchmark b = workload->Generate({8, 1.0});
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  bool any_difference = false;
+  for (std::size_t s = 0; s < a.sequences.size(); ++s) {
+    any_difference |= !(a.sequences[s].accesses() ==
+                        b.sequences[s].accesses());
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PhasedCombinator, SupportsNestingAndRejectsMalformedSpecs) {
+  // Nested specs parse (the inner phased(...) is one phase).
+  const auto nested =
+      ResolveWorkload("phased(phased(stencil,stream-scan),kv-churn)");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->Describe().name,
+            "phased(phased(stencil,stream-scan),kv-churn)");
+  EXPECT_FALSE(nested->Generate({}).sequences.empty());
+
+  // Non-phased specs pass through untouched.
+  EXPECT_EQ(ParsePhasedSpec("stencil"), std::nullopt);
+  EXPECT_EQ(ParsePhasedSpec("phasedish"), std::nullopt);
+
+  // Malformed specs throw instead of resolving to something else.
+  EXPECT_THROW((void)ResolveWorkload("phased(stencil"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ResolveWorkload("phased(stencil,,kv-churn)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ResolveWorkload("phased()"), std::invalid_argument);
+  EXPECT_THROW((void)ResolveWorkload("phased(stencil))"),
+               std::invalid_argument);
+
+  // An unknown phase surfaces at Generate() time.
+  const auto unknown = ResolveWorkload("phased(stencil,nope-nope)");
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_THROW((void)unknown->Generate({}), std::invalid_argument);
 }
 
 TEST(SyntheticFamilies, StructuralShapesHold) {
