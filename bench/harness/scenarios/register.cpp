@@ -8,6 +8,7 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   scenarios::RegisterSmoke(registry);
   scenarios::RegisterWorkloadsSmoke(registry);
   scenarios::RegisterFigOnline(registry);
+  scenarios::RegisterFigMultitenant(registry);
   scenarios::RegisterTable1DeviceParams(registry);
   scenarios::RegisterFig3Example(registry);
   scenarios::RegisterFig4Shifts(registry);

@@ -11,13 +11,15 @@
 //   $ ./placement_explorer workloads
 //   $ ./placement_explorer online "phased(gemm-tiled,stream-scan)"
 //       online-ewma-dma-sr 4       (one command line)
+//   $ ./placement_explorer serve gsm serve-2s-ewma-dma-sr 8
 //
 // This is what a user integrating rtmplace into their own flow would
 // script against: pick a workload (any registered name, a
 // phased(a,b,...) splice, or an external trace file, text or binary),
 // pick a strategy — or an online policy, served through the adaptive
-// engine with migration charged — and inspect the resulting layout and
-// costs.
+// engine with migration charged; or a serve policy, every sequence a
+// tenant of one multi-tenant device — and inspect the resulting layout
+// and costs.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -29,6 +31,9 @@
 #include "online/online_cell.h"
 #include "online/policy.h"
 #include "rtm/config.h"
+#include "serve/serve_cell.h"
+#include "serve/serve_policy.h"
+#include "serve/service.h"
 #include "sim/experiment.h"
 #include "sim/simulator.h"
 #include "trace/liveliness.h"
@@ -58,6 +63,8 @@ int Usage() {
       "  placement_explorer strategies [--json <file>]\n"
       "  placement_explorer workloads [--json <file>]\n"
       "  placement_explorer online <workload> <policy> <dbcs>\n"
+      "  placement_explorer serve <workload> <serve-policy> <dbcs>   each "
+      "sequence a tenant\n"
       "\n<workload> is a registered workload name, a phased(a,b,...) "
       "splice of\nregistered workloads, or a trace-file path (text or "
       "binary).\n"
@@ -71,6 +78,10 @@ int Usage() {
   }
   std::printf("\nonline policies (from the registry):");
   for (const auto& name : online::OnlinePolicyRegistry::Global().Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nserve policies (from the registry):");
+  for (const auto& name : serve::ServePolicyRegistry::Global().Names()) {
     std::printf(" %s", name.c_str());
   }
   std::printf("\n");
@@ -401,6 +412,94 @@ int CmdOnline(const std::string& spec, const std::string& policy_name,
   return 0;
 }
 
+int CmdServe(const std::string& spec, const std::string& policy_name,
+             unsigned dbcs) {
+  const auto policy = serve::ServePolicyRegistry::Global().Find(policy_name);
+  if (!policy) {
+    std::fprintf(stderr,
+                 "unknown serve policy '%s' (the usage footer lists the "
+                 "registered ones)\n",
+                 policy_name.c_str());
+    return 1;
+  }
+  const auto benchmark = LoadBenchmark(spec);
+  const auto& info = policy->Describe();
+  std::printf(
+      "serve %s on %s, %u DBCs (%u shard(s), engine %s, budget %s)\n\n",
+      info.name.c_str(), benchmark.name.c_str(), dbcs, info.shards,
+      info.online_policy.c_str(), info.budget.c_str());
+
+  sim::ExperimentOptions options;
+  options.search_effort = sim::SearchEffortFromEnv(0.1);
+  std::size_t total_vars = 0;
+  for (const auto& seq : benchmark.sequences) {
+    total_vars += seq.num_variables();
+  }
+  if (total_vars == 0) {
+    std::fprintf(stderr, "workload has no variables to serve\n");
+    return 1;
+  }
+  const rtm::RtmConfig config = sim::CellConfig(dbcs, total_vars);
+  serve::PlacementService service(
+      serve::CellServeConfig(*policy, config, options, benchmark.name, dbcs),
+      config);
+  for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
+    if (benchmark.sequences[s].num_variables() == 0) continue;
+    (void)service.OpenSession("t" + std::to_string(s),
+                              benchmark.sequences[s]);
+  }
+  const serve::ServeResult result = service.Run();
+
+  util::TextTable tenants;
+  tenants.SetHeader({"tenant", "shard", "accesses", "windows", "shifts",
+                     "migrations", "denials", "mean win lat [ns]"});
+  tenants.SetAlignments({util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+  for (const serve::TenantStats& tenant : result.tenants) {
+    tenants.AddRow(
+        {tenant.name, std::to_string(tenant.shard),
+         std::to_string(tenant.accesses), std::to_string(tenant.windows),
+         std::to_string(tenant.service_shifts + tenant.migration_shifts),
+         std::to_string(tenant.migrations),
+         std::to_string(tenant.budget_denials),
+         util::FormatFixed(tenant.mean_window_latency_ns(), 1)});
+  }
+  std::fputs(tenants.Render().c_str(), stdout);
+
+  util::TextTable shards;
+  shards.SetHeader(
+      {"shard", "DBCs", "tenants", "shifts", "migrations", "makespan [ns]"});
+  shards.SetAlignments({util::Align::kRight, util::Align::kLeft,
+                        util::Align::kRight, util::Align::kRight,
+                        util::Align::kRight, util::Align::kRight});
+  for (const serve::ShardStats& shard : result.shards) {
+    shards.AddRow(
+        {std::to_string(shard.index),
+         std::to_string(shard.first_dbc) + ".." +
+             std::to_string(shard.first_dbc + shard.num_dbcs - 1),
+         std::to_string(shard.tenants.size()),
+         std::to_string(shard.result.amortized_shifts),
+         std::to_string(shard.result.migrations),
+         util::FormatFixed(shard.result.stats.makespan_ns, 1)});
+  }
+  std::printf("\n");
+  std::fputs(shards.Render().c_str(), stdout);
+
+  std::printf(
+      "\ntotal: %llu shifts (%llu service + %llu migration), makespan "
+      "%.1f ns\nfairness %.4f, budget %llu/%llu spent, %zu denials\n",
+      static_cast<unsigned long long>(result.total_shifts),
+      static_cast<unsigned long long>(result.service_shifts),
+      static_cast<unsigned long long>(result.migration_shifts),
+      result.makespan_ns, result.fairness,
+      static_cast<unsigned long long>(result.budget_spent),
+      static_cast<unsigned long long>(result.budget_granted),
+      result.budget_denials);
+  return 0;
+}
+
 /// Parses a trailing `[--json <file>]`; returns false (after printing
 /// usage) on anything else.
 bool ParseJsonFlag(int argc, char** argv, int first, std::string* json_path) {
@@ -438,6 +537,10 @@ int main(int argc, char** argv) {
     if (argc >= 5 && std::string(argv[1]) == "online") {
       return CmdOnline(argv[2], argv[3],
                        static_cast<unsigned>(std::stoul(argv[4])));
+    }
+    if (argc >= 5 && std::string(argv[1]) == "serve") {
+      return CmdServe(argv[2], argv[3],
+                      static_cast<unsigned>(std::stoul(argv[4])));
     }
     if (argc >= 2 && std::string(argv[1]) == "strategies") {
       std::string json_path;

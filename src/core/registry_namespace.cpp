@@ -1,0 +1,40 @@
+#include "core/registry_namespace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtmp::core {
+
+RegistryNamespace& RegistryNamespace::Global() {
+  static RegistryNamespace* names = new RegistryNamespace();
+  return *names;
+}
+
+void RegistryNamespace::Claim(std::string name, std::string_view kind) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it != entries_.end() && it->first == name) {
+    if (it->second != kind) {
+      throw std::invalid_argument(
+          "RegistryNamespace: '" + name + "' is already registered as a " +
+          it->second + "; " + std::string(kind) +
+          " names share the experiment cell-name space");
+    }
+    return;
+  }
+  entries_.insert(it, {std::move(name), std::string(kind)});
+}
+
+std::string RegistryNamespace::OwnerOf(std::string_view name) const {
+  const std::string key(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it == entries_.end() || it->first != key) return "";
+  return it->second;
+}
+
+}  // namespace rtmp::core

@@ -1,0 +1,56 @@
+// Cross-registry name arbitration for the experiment engine's cell-name
+// space.
+//
+// Placement strategies (core/strategy_registry.h), online policies
+// (online/policy.h) and serve policies (serve/serve_policy.h) are all
+// addressed through ONE flat name space: sim::RunCell resolves a cell
+// name through the registries in order, CLI arguments and report keys
+// carry bare names, and a name living in two registries would silently
+// shadow. Each registry rejects the collisions it can see (the online
+// registry consults the strategy registry directly), but the registries
+// live in different layers — core cannot ask the serve layer anything —
+// so pairwise checks cannot cover every registration order.
+//
+// RegistryNamespace closes the gap: the process-wide (Global())
+// instances of the registries claim every name here at registration
+// time, tagged with their kind, and claiming a name held by a DIFFERENT
+// kind throws — whichever side registers second fails fast. Fresh
+// registry instances built by tests do NOT claim: the shared name space
+// belongs to the singletons, and re-registering built-in names into a
+// local registry must stay legal.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rtmp::core {
+
+class RegistryNamespace {
+ public:
+  RegistryNamespace() = default;
+  RegistryNamespace(const RegistryNamespace&) = delete;
+  RegistryNamespace& operator=(const RegistryNamespace&) = delete;
+
+  /// The process-wide name space shared by the Global() registries.
+  [[nodiscard]] static RegistryNamespace& Global();
+
+  /// Claims `name` (already normalized to lowercase) for `kind` (e.g.
+  /// "strategy", "online policy", "serve policy"). Throws
+  /// std::invalid_argument when the name is held by a DIFFERENT kind;
+  /// re-claiming under the same kind is a no-op (duplicates within one
+  /// kind are the owning registry's problem, and it detects them).
+  void Claim(std::string name, std::string_view kind);
+
+  /// The kind holding `name`; "" when unclaimed.
+  [[nodiscard]] std::string OwnerOf(std::string_view name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  // Sorted by name; a few dozen entries at most.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace rtmp::core

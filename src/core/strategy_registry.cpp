@@ -12,6 +12,7 @@
 #include "core/inter_dma.h"
 #include "core/multi_dma.h"
 #include "core/random_walk.h"
+#include "core/registry_namespace.h"
 #include "util/strings.h"
 
 namespace rtmp::core {
@@ -161,6 +162,7 @@ PlacementResult RunTimed(const PlacementStrategy& strategy,
 StrategyRegistry& StrategyRegistry::Global() {
   static StrategyRegistry* registry = [] {
     auto* r = new StrategyRegistry();
+    r->ClaimCellNamespace("strategy");
     RegisterBuiltinStrategies(*r);
     return r;
   }();
@@ -181,6 +183,9 @@ void StrategyRegistry::Register(std::string name, Factory factory) {
   if (key.empty() || !std::all_of(key.begin(), key.end(), valid_char)) {
     throw std::invalid_argument("StrategyRegistry: invalid name '" + name +
                                 "'");
+  }
+  if (namespace_kind_ != nullptr) {
+    RegistryNamespace::Global().Claim(key, namespace_kind_);
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = std::lower_bound(

@@ -119,6 +119,16 @@ class StrategyRegistry {
   /// so defer heavy state to Run().
   void Register(std::string name, Factory factory);
 
+  /// Marks this instance as an owner in the process-wide cell-name space
+  /// (core/registry_namespace.h): every later Register() additionally
+  /// claims the name under `kind` and throws when another registry kind
+  /// holds it. Global() enables this ("strategy") before the built-ins;
+  /// fresh test instances leave it off, so re-registering built-in names
+  /// locally stays legal.
+  void ClaimCellNamespace(const char* kind) noexcept {
+    namespace_kind_ = kind;
+  }
+
   /// The strategy registered under `name`; nullptr if unknown.
   [[nodiscard]] std::shared_ptr<const PlacementStrategy> Find(
       std::string_view name) const;
@@ -148,6 +158,8 @@ class StrategyRegistry {
   // Sorted by key; small enough (tens of strategies) that a flat vector
   // beats a map.
   std::vector<std::pair<std::string, Entry>> entries_;
+  /// Non-null only for Global() (see ClaimCellNamespace).
+  const char* namespace_kind_ = nullptr;
 };
 
 /// Registers the built-in strategies into `registry`: every

@@ -1,6 +1,7 @@
 #include "online/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <stdexcept>
 #include <utility>
@@ -27,6 +28,11 @@ OnlineEngine::OnlineEngine(OnlineConfig config, rtm::RtmConfig device)
       detector_(config_.detector) {
   if (config_.window_accesses == 0) {
     throw std::invalid_argument("OnlineEngine: window_accesses must be >= 1");
+  }
+  if (!std::isfinite(config_.migration_fraction) ||
+      config_.migration_fraction < 0.0 || config_.migration_fraction > 1.0) {
+    throw std::invalid_argument(
+        "OnlineEngine: migration_fraction must be in [0, 1]");
   }
   if (!core::StrategyRegistry::Global().Contains(config_.reseed_strategy)) {
     throw std::invalid_argument(
@@ -168,7 +174,15 @@ bool OnlineEngine::Refine(WindowRecord& record) {
   }
   if (!committed) return false;
 
-  ChargeMigration(PlanMigration(placement_, evaluator.placement()), record);
+  const MigrationPlan plan =
+      PlanMigration(placement_, evaluator.placement());
+  if (config_.migration_gate &&
+      !config_.migration_gate(plan.estimated_shifts)) {
+    record.budget_denied = true;
+    ++result_.budget_denials;
+    return false;
+  }
+  ChargeMigration(plan, record);
   placement_ = evaluator.placement();
   return true;
 }
@@ -217,6 +231,7 @@ void OnlineEngine::ProcessWindow() {
   WindowRecord record;
   record.begin = served_accesses_;
   record.accesses = window_seq_.size();
+  const double makespan_before = controller_.stats().makespan_ns;
 
   // Every window feeds the detector — window 0 seeds the drift model so
   // a phase seam right after it is visible.
@@ -233,7 +248,20 @@ void OnlineEngine::ProcessWindow() {
     record.drift = verdict.drift;
     if (verdict.phase_change) {
       core::Placement candidate = Reseed();
-      const MigrationPlan plan = PlanMigration(placement_, candidate);
+      MigrationPlan plan;
+      if (config_.migration_fraction < 1.0 ||
+          config_.migration_min_benefit > 0) {
+        // Partial migration: realize only the highest-value moves of the
+        // diff; candidate and plan become the trimmed pair.
+        TrimmedMigration trimmed = TrimMigration(
+            placement_, candidate, window_seq_, config_.strategy_options.cost,
+            config_.migration_fraction, config_.migration_min_benefit);
+        result_.evaluations += trimmed.evaluations;
+        candidate = std::move(trimmed.placement);
+        plan = std::move(trimmed.plan);
+      } else {
+        plan = PlanMigration(placement_, candidate);
+      }
       if (!plan.empty()) {
         bool accept = config_.always_accept_reseed;
         if (!accept) {
@@ -247,6 +275,12 @@ void OnlineEngine::ProcessWindow() {
           const std::uint64_t charge =
               config_.charge_migration ? plan.estimated_shifts : 0;
           accept = cost_candidate + charge < cost_keep;
+        }
+        if (accept && config_.migration_gate &&
+            !config_.migration_gate(plan.estimated_shifts)) {
+          record.budget_denied = true;
+          ++result_.budget_denials;
+          accept = false;
         }
         if (accept) {
           ChargeMigration(plan, record);
@@ -262,10 +296,18 @@ void OnlineEngine::ProcessWindow() {
       core::ShiftCost(window_seq_, placement_, config_.strategy_options.cost);
   result_.placement_cost += record.window_cost;
   ServeWindow(record);
+  record.latency_ns = controller_.stats().makespan_ns - makespan_before;
   result_.windows.push_back(record);
   served_accesses_ += window_seq_.size();
   window_seq_.ClearAccesses();
   ++windows_processed_;
+}
+
+void OnlineEngine::FlushWindow() {
+  if (finished_) {
+    throw std::logic_error("OnlineEngine: session already finished");
+  }
+  if (!window_seq_.empty()) ProcessWindow();
 }
 
 OnlineResult OnlineEngine::Finish() {

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -78,6 +79,23 @@ struct OnlineConfig {
   bool refine = false;
   /// Hottest window variables the refinement pass may try to move.
   std::size_t refine_top_k = 8;
+  /// Fraction of a re-seed migration's moves to realize, highest peek
+  /// benefit first (online/migration.h TrimMigration); 1.0 realizes the
+  /// full diff, 0.0 never migrates on re-seed. With a trim active the
+  /// accept rule weighs the TRIMMED candidate and plan. Must be finite
+  /// and in [0, 1] (std::invalid_argument otherwise).
+  double migration_fraction = 1.0;
+  /// Minimum realized window-cost saving each kept move of a trimmed
+  /// migration must clear (0 = any strict improvement). Only consulted
+  /// when a trim is active (fraction < 1 or min_benefit > 0).
+  std::uint64_t migration_min_benefit = 0;
+  /// External admission gate for migration traffic (the serve layer's
+  /// shared MigrationBudget): called with the plan's estimated shifts
+  /// right before a migration would be charged; returning false denies
+  /// the re-placement, recorded in WindowRecord::budget_denied. Null =
+  /// always allowed. The gate runs AFTER the accept rule, so a denial
+  /// always suppresses a migration the engine wanted.
+  std::function<bool(std::uint64_t)> migration_gate;
   /// Controller timing mode for service and migration traffic.
   rtm::ControllerConfig controller{};
   /// Strategy tuning handed to every re-seed run (effort, cost options,
@@ -110,12 +128,21 @@ struct WindowRecord {
   /// it (first-access-free per window; the device charge differs by the
   /// carried-over alignments).
   std::uint64_t window_cost = 0;
+  /// The migration gate denied a re-placement the engine had accepted
+  /// (see OnlineConfig::migration_gate).
+  bool budget_denied = false;
+  /// Makespan advance of this window: migration + service time it added
+  /// to the controller timeline, including waits behind a shared channel
+  /// — the serve layer's per-tenant exposed latency.
+  double latency_ns = 0.0;
 };
 
 struct OnlineResult {
   std::vector<WindowRecord> windows;
   /// Windows whose placement changed (re-seed accepts + refinements).
   std::size_t migrations = 0;
+  /// Migrations the migration_gate denied after the accept rule.
+  std::size_t budget_denials = 0;
   std::size_t migrated_vars = 0;
   std::uint64_t service_shifts = 0;
   std::uint64_t migration_shifts = 0;
@@ -164,6 +191,13 @@ class OnlineEngine {
   /// id, std::out_of_range otherwise.
   void Feed(trace::VariableId variable, trace::AccessType type);
 
+  /// Forces a window boundary now: the buffered partial window is
+  /// decided and served as if it had filled up; no-op on an empty
+  /// buffer. The serve layer closes every arbitration turn with this, so
+  /// engine windows align 1:1 with (tenant, turn) batches. Throws
+  /// std::logic_error after Finish().
+  void FlushWindow();
+
   /// Flushes the trailing partial window and returns the run's result.
   /// A session that never saw an access still runs the re-seed strategy
   /// once over the (possibly empty) variable space, mirroring the static
@@ -172,6 +206,23 @@ class OnlineEngine {
 
   [[nodiscard]] std::size_t variables_seen() const noexcept {
     return window_seq_.num_variables();
+  }
+
+  /// Window records so far (grows by exactly one per processed window);
+  /// the serve layer reads the latest record for per-turn attribution.
+  [[nodiscard]] const std::vector<WindowRecord>& Windows() const noexcept {
+    return result_.windows;
+  }
+
+  /// Live controller view of everything executed so far (service plus
+  /// migration traffic); totals move only at window boundaries.
+  [[nodiscard]] const rtm::ControllerStats& DeviceStats() const noexcept {
+    return controller_.stats();
+  }
+
+  /// Energy of everything executed so far (leakage over the makespan).
+  [[nodiscard]] rtm::EnergyBreakdown DeviceEnergy() const {
+    return controller_.Energy();
   }
 
  private:

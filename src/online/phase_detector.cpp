@@ -51,6 +51,8 @@ std::string_view ToString(DetectorKind kind) {
       return "fixed";
     case DetectorKind::kEwmaDrift:
       return "ewma";
+    case DetectorKind::kCusum:
+      return "cusum";
   }
   return "none";
 }
@@ -59,6 +61,7 @@ std::optional<DetectorKind> ParseDetectorKind(std::string_view name) {
   if (name == "none") return DetectorKind::kNone;
   if (name == "fixed") return DetectorKind::kFixedWindow;
   if (name == "ewma") return DetectorKind::kEwmaDrift;
+  if (name == "cusum") return DetectorKind::kCusum;
   return std::nullopt;
 }
 
@@ -66,16 +69,27 @@ PhaseDetector::PhaseDetector(PhaseDetectorConfig config) : config_(config) {
   if (config_.kind == DetectorKind::kFixedWindow && config_.period == 0) {
     throw std::invalid_argument("PhaseDetector: period must be >= 1");
   }
-  if (config_.kind == DetectorKind::kEwmaDrift) {
-    if (!std::isfinite(config_.threshold) || config_.threshold < 0.0 ||
-        config_.threshold > 1.0) {
+  if (config_.kind == DetectorKind::kEwmaDrift ||
+      config_.kind == DetectorKind::kCusum) {
+    // The CUSUM statistic accumulates, so its threshold may exceed 1;
+    // a single window's TV distance cannot.
+    const bool threshold_ok =
+        std::isfinite(config_.threshold) && config_.threshold >= 0.0 &&
+        (config_.kind == DetectorKind::kCusum || config_.threshold <= 1.0);
+    if (!threshold_ok) {
       throw std::invalid_argument(
-          "PhaseDetector: threshold must be in [0, 1]");
+          config_.kind == DetectorKind::kCusum
+              ? "PhaseDetector: cusum threshold must be >= 0"
+              : "PhaseDetector: threshold must be in [0, 1]");
     }
     if (!std::isfinite(config_.alpha) || config_.alpha <= 0.0 ||
         config_.alpha > 1.0) {
       throw std::invalid_argument("PhaseDetector: alpha must be in (0, 1]");
     }
+  }
+  if (config_.kind == DetectorKind::kCusum &&
+      (!std::isfinite(config_.slack) || config_.slack < 0.0)) {
+    throw std::invalid_argument("PhaseDetector: slack must be >= 0");
   }
 }
 
@@ -93,6 +107,7 @@ PhaseDetector::Verdict PhaseDetector::Observe(
           observed_ > 1 && (observed_ - 1) % config_.period == 0;
       return verdict;
     case DetectorKind::kEwmaDrift:
+    case DetectorKind::kCusum:
       break;
   }
 
@@ -133,13 +148,22 @@ PhaseDetector::Verdict PhaseDetector::Observe(
       ++j;
     }
   }
-  verdict.drift = 0.5 * l1;
+  const double tv = 0.5 * l1;
+  if (config_.kind == DetectorKind::kCusum) {
+    // Only drift above the slack allowance accumulates; stationary noise
+    // below it decays the statistic back toward zero.
+    cusum_ = std::max(0.0, cusum_ + tv - config_.slack);
+    verdict.drift = cusum_;
+  } else {
+    verdict.drift = tv;
+  }
   verdict.phase_change = verdict.drift > config_.threshold;
 
   if (verdict.phase_change) {
-    // Restart the model from the new phase: a single long drift must not
-    // re-trigger on every subsequent window.
+    // Restart the model (and statistic) from the new phase: a single
+    // long drift must not re-trigger on every subsequent window.
     model_ = std::move(current);
+    cusum_ = 0.0;
     return verdict;
   }
 
@@ -175,6 +199,7 @@ PhaseDetector::Verdict PhaseDetector::Observe(
 
 void PhaseDetector::Reset() {
   model_.clear();
+  cusum_ = 0.0;
   observed_ = 0;
 }
 

@@ -10,7 +10,7 @@
 // core/cost_evaluator.h), but summarized globally (placement-independent),
 // so the detector needs no knowledge of the current layout.
 //
-// Two detector families are provided:
+// Three detector families are provided:
 //
 //  * kFixedWindow — declare a phase boundary every `period` windows.
 //    The classic epoch-based reconfiguration baseline (R4-style runtime
@@ -20,6 +20,14 @@
 //    variation distance between the current window and the model exceeds
 //    `threshold`. The model resets to the new window on a boundary, so
 //    one long drift does not re-trigger every window.
+//  * kCusum — accumulate the per-window drift above a `slack` allowance
+//    into a CUSUM statistic S = max(0, S + d - slack) and declare a
+//    boundary when S exceeds `threshold` (which may exceed 1 — S is
+//    cumulative); S and the reference model reset on the boundary.
+//    Where kEwmaDrift needs ONE window to jump its threshold, the CUSUM
+//    integrates small persistent drifts, catching slow phase ramps at
+//    the cost of a detection delay of about threshold / (d - slack)
+//    windows.
 //
 // kNone never declares a boundary (the static/oracle configuration).
 // All detectors are deterministic: equal window streams yield equal
@@ -54,9 +62,14 @@ struct TransitionSummary {
 [[nodiscard]] TransitionSummary SummarizeTransitions(
     std::span<const trace::Access> window);
 
-enum class DetectorKind : std::uint8_t { kNone, kFixedWindow, kEwmaDrift };
+enum class DetectorKind : std::uint8_t {
+  kNone,
+  kFixedWindow,
+  kEwmaDrift,
+  kCusum
+};
 
-/// "none", "fixed", "ewma".
+/// "none", "fixed", "ewma", "cusum".
 [[nodiscard]] std::string_view ToString(DetectorKind kind);
 [[nodiscard]] std::optional<DetectorKind> ParseDetectorKind(
     std::string_view name);
@@ -66,22 +79,30 @@ struct PhaseDetectorConfig {
   /// kFixedWindow: boundary every `period` observed windows (>= 1).
   std::size_t period = 1;
   /// kEwmaDrift: boundary when total variation distance in [0, 1]
-  /// between the window and the model exceeds this.
+  /// between the window and the model exceeds this. kCusum: boundary
+  /// when the accumulated statistic exceeds this (>= 0, may exceed 1).
   double threshold = 0.35;
-  /// kEwmaDrift: model update weight in (0, 1]; higher forgets faster.
+  /// kEwmaDrift / kCusum: model update weight in (0, 1]; higher forgets
+  /// faster.
   double alpha = 0.3;
+  /// kCusum: per-window drift allowance (>= 0); only drift above it
+  /// accumulates. Raising it ignores stronger stationary noise, at the
+  /// cost of missing slower ramps.
+  double slack = 0.05;
 };
 
 class PhaseDetector {
  public:
   /// Validates the configuration (throws std::invalid_argument on a zero
-  /// period, a threshold outside [0, 1] or an alpha outside (0, 1]).
+  /// period, a threshold outside [0, 1] — or merely negative for kCusum —
+  /// a negative slack, or an alpha outside (0, 1]).
   explicit PhaseDetector(PhaseDetectorConfig config);
 
   struct Verdict {
     bool phase_change = false;
     /// Drift score that produced the verdict: total variation distance
-    /// for kEwmaDrift, 0 otherwise.
+    /// for kEwmaDrift, the accumulated statistic for kCusum, 0
+    /// otherwise.
     double drift = 0.0;
   };
 
@@ -99,8 +120,10 @@ class PhaseDetector {
 
  private:
   PhaseDetectorConfig config_;
-  /// kEwmaDrift: normalized model distribution, sorted by key.
+  /// kEwmaDrift / kCusum: normalized model distribution, sorted by key.
   std::vector<std::pair<std::uint64_t, double>> model_;
+  /// kCusum: the accumulated statistic S.
+  double cusum_ = 0.0;
   std::size_t observed_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/registry_namespace.h"
 #include "core/strategy_registry.h"
 #include "util/strings.h"
 
@@ -76,6 +77,25 @@ void RegisterFamily(OnlinePolicyRegistry& registry,
              reseed, "ewma"},
          config] { return MakeFixedPolicy(info, config); });
   }
+  {
+    OnlineConfig config;
+    config.reseed_strategy = reseed;
+    config.window_accesses = 256;
+    config.detector.kind = DetectorKind::kCusum;
+    config.detector.threshold = 0.6;
+    config.detector.slack = 0.1;
+    config.detector.alpha = 0.3;
+    config.refine = true;
+    registry.Register(
+        "online-cusum-" + reseed,
+        [info = OnlinePolicyInfo{
+             "online-cusum-" + reseed,
+             "256-access windows, CUSUM change-point detection (slack 0.1, "
+             "threshold 0.6) + incremental refinement, re-seeded via " +
+                 reseed,
+             reseed, "cusum"},
+         config] { return MakeFixedPolicy(info, config); });
+  }
 }
 
 }  // namespace
@@ -89,6 +109,7 @@ std::shared_ptr<const OnlinePolicy> MakeFixedPolicy(OnlinePolicyInfo info,
 OnlinePolicyRegistry& OnlinePolicyRegistry::Global() {
   static OnlinePolicyRegistry* registry = [] {
     auto* r = new OnlinePolicyRegistry();
+    r->ClaimCellNamespace("online policy");
     RegisterBuiltinOnlinePolicies(*r);
     return r;
   }();
@@ -115,6 +136,9 @@ void OnlinePolicyRegistry::Register(std::string name, Factory factory) {
     throw std::invalid_argument(
         "OnlinePolicyRegistry: '" + key +
         "' is already a registered placement strategy");
+  }
+  if (namespace_kind_ != nullptr) {
+    core::RegistryNamespace::Global().Claim(key, namespace_kind_);
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = std::lower_bound(

@@ -32,7 +32,7 @@ struct OnlinePolicyInfo {
   std::string summary;
   /// Registry name of the re-seed strategy the policy wraps.
   std::string reseed_strategy;
-  /// Detector family: "none", "fixed" or "ewma".
+  /// Detector family: "none", "fixed", "ewma" or "cusum".
   std::string detector;
 };
 
@@ -70,9 +70,18 @@ class OnlinePolicyRegistry {
   /// Registers `factory` under `name` (normalized to lowercase). Throws
   /// std::invalid_argument if the name is empty, contains characters
   /// outside [a-z0-9._-], collides with a registered policy OR with a
-  /// registered placement strategy (the two registries share the
-  /// experiment engine's name space).
+  /// registered placement strategy (the registries share the experiment
+  /// engine's name space; see core/registry_namespace.h for the
+  /// process-wide arbitration covering serve policies too).
   void Register(std::string name, Factory factory);
+
+  /// Marks this instance as an owner in the process-wide cell-name space
+  /// (core/registry_namespace.h); same contract as
+  /// core::StrategyRegistry::ClaimCellNamespace — Global() enables it
+  /// ("online policy"), fresh test instances leave it off.
+  void ClaimCellNamespace(const char* kind) noexcept {
+    namespace_kind_ = kind;
+  }
 
   /// The policy registered under `name`; nullptr if unknown.
   [[nodiscard]] std::shared_ptr<const OnlinePolicy> Find(
@@ -103,6 +112,8 @@ class OnlinePolicyRegistry {
   // Sorted by key; small enough (tens of policies) that a flat vector
   // beats a map.
   std::vector<std::pair<std::string, Entry>> entries_;
+  /// Non-null only for Global() (see ClaimCellNamespace).
+  const char* namespace_kind_ = nullptr;
 };
 
 /// Registers the built-in policies into `registry`:
@@ -113,6 +124,9 @@ class OnlinePolicyRegistry {
 ///                       window boundary (period-1 epoch baseline);
 ///   online-ewma-<s>     256-access windows, EWMA-drift detection plus
 ///                       CostEvaluator refinement between phases;
+///   online-cusum-<s>    256-access windows, CUSUM change-point detection
+///                       (integrates slow drifts a single-window EWMA
+///                       test misses) plus refinement;
 ///
 /// for s in {dma-sr, afd-ofu}. Global() calls this once; tests use it to
 /// build fresh registries.

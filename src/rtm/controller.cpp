@@ -18,6 +18,20 @@ RtmController::RtmController(RtmConfig config, ControllerConfig controller)
   dbc_free_ns_.assign(config_.total_dbcs(), 0.0);
 }
 
+double RtmController::channel_free() const noexcept {
+  return controller_.shared_channel != nullptr
+             ? controller_.shared_channel->free_ns_
+             : channel_free_ns_;
+}
+
+void RtmController::set_channel_free(double when_ns) noexcept {
+  if (controller_.shared_channel != nullptr) {
+    controller_.shared_channel->free_ns_ = when_ns;
+  } else {
+    channel_free_ns_ = when_ns;
+  }
+}
+
 std::vector<RequestTiming> RtmController::Execute(
     const std::vector<TimedRequest>& requests) {
   std::vector<RequestTiming> timings;
@@ -47,7 +61,7 @@ std::vector<RequestTiming> RtmController::Execute(
       // earlier issued; the DBC can shift in the background from then on.
       double known_ns = request.arrival_ns;
       if (controller_.lookahead == 0) {
-        known_ns = std::max(known_ns, channel_free_ns_);
+        known_ns = std::max(known_ns, channel_free());
       } else if (i >= controller_.lookahead) {
         known_ns =
             std::max(known_ns,
@@ -56,13 +70,13 @@ std::vector<RequestTiming> RtmController::Execute(
       timing.shift_start_ns = std::max(dbc_free_ns_[request.dbc], known_ns);
       const double shift_done = timing.shift_start_ns + shift_time;
       timing.access_start_ns =
-          std::max({request.arrival_ns, channel_free_ns_, shift_done});
+          std::max({request.arrival_ns, channel_free(), shift_done});
       timing.finish_ns = timing.access_start_ns + access_time;
       timing.hidden_shift_ns =
-          shift_time - std::max(0.0, shift_done - channel_free_ns_);
+          shift_time - std::max(0.0, shift_done - channel_free());
       timing.hidden_shift_ns =
           std::clamp(timing.hidden_shift_ns, 0.0, shift_time);
-      channel_free_ns_ = timing.finish_ns;
+      set_channel_free(timing.finish_ns);
       dbc_free_ns_[request.dbc] = timing.finish_ns;
       // Shifts occupy the DBC, not the shared channel: only the access
       // itself books channel time. The shift time the request still had to
@@ -73,10 +87,10 @@ std::vector<RequestTiming> RtmController::Execute(
     } else {
       // Serial operation: shift + access both occupy the channel, so the
       // whole shift is exposed stall AND channel time.
-      timing.shift_start_ns = std::max(request.arrival_ns, channel_free_ns_);
+      timing.shift_start_ns = std::max(request.arrival_ns, channel_free());
       timing.access_start_ns = timing.shift_start_ns + shift_time;
       timing.finish_ns = timing.access_start_ns + access_time;
-      channel_free_ns_ = timing.finish_ns;
+      set_channel_free(timing.finish_ns);
       dbc_free_ns_[request.dbc] = timing.finish_ns;
       stats_.channel_busy_ns += shift_time + access_time;
       stats_.exposed_shift_ns += shift_time;

@@ -30,6 +30,27 @@
 
 namespace rtmp::rtm {
 
+/// A read/write-channel timeline shared between several controllers.
+/// The multi-tenant serve layer (src/serve/) partitions a device into
+/// shards, each with its own RtmController (private DBC state), but the
+/// access channel stays ONE resource: every shard controller pointed at
+/// the same SharedChannel books its channel occupancy here, so one
+/// shard's traffic delays another's exactly as on real hardware. With no
+/// SharedChannel configured the controller uses its private timeline —
+/// the arithmetic is identical either way, so a single shard behind a
+/// SharedChannel is bit-identical to a bare controller.
+class SharedChannel {
+ public:
+  /// Time the channel becomes free (ns since the common epoch).
+  [[nodiscard]] double free_ns() const noexcept { return free_ns_; }
+
+  void Reset() noexcept { free_ns_ = 0.0; }
+
+ private:
+  friend class RtmController;
+  double free_ns_ = 0.0;
+};
+
 struct ControllerConfig {
   /// Enables background shifting (proactive alignment).
   bool proactive_alignment = false;
@@ -37,6 +58,11 @@ struct ControllerConfig {
   /// meaningful with proactive_alignment; 1 is a realistic one-deep
   /// request queue, larger values approach the oracle).
   unsigned lookahead = 1;
+  /// Non-owning; when set, channel occupancy is booked on this shared
+  /// timeline instead of the controller's private one (see
+  /// SharedChannel). The channel must outlive the controller; Reset()
+  /// leaves it untouched (it belongs to the arbiter, not the shard).
+  SharedChannel* shared_channel = nullptr;
 };
 
 /// One memory request presented to the controller.
@@ -99,6 +125,10 @@ class RtmController {
   void Reset();
 
  private:
+  /// Private vs. shared channel timeline (see ControllerConfig).
+  [[nodiscard]] double channel_free() const noexcept;
+  void set_channel_free(double when_ns) noexcept;
+
   RtmConfig config_;
   ControllerConfig controller_;
   std::vector<DbcState> dbcs_;

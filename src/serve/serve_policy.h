@@ -1,0 +1,146 @@
+// Serve-policy registry: named multi-tenant service recipes, the third
+// member of the experiment cell-name space after placement strategies
+// (core/strategy_registry.h) and online policies (online/policy.h).
+//
+// A serve policy is a ServeConfig recipe: how many shards the device is
+// partitioned into, which online policy drives each shard's engine, and
+// how tight the global migration budget is. sim::RunCell resolves a name
+// that neither the strategy nor the online-policy registry knows here,
+// so serve policies enter RunMatrix grids, rtmbench scenarios and
+// placement_explorer exactly like any other cell name.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace rtmp::serve {
+
+/// Self-description of a registered serve policy.
+struct ServePolicyInfo {
+  /// Registry key: lowercase, unique ("serve-4s-ewma-dma-sr", ...).
+  std::string name;
+  /// One-line human-readable description for listings and docs.
+  std::string summary;
+  /// Registry name of the online policy driving each shard's engine.
+  std::string online_policy;
+  /// Device shards (equal DBC partitions).
+  unsigned shards = 1;
+  /// Migration-budget label: "unlimited", "tight" or "loose".
+  std::string budget = "unlimited";
+};
+
+/// Abstract serve policy. Implementations must be stateless or
+/// internally synchronized: the experiment engine may call MakeConfig()
+/// from many threads concurrently on one instance.
+class ServePolicy {
+ public:
+  virtual ~ServePolicy() = default;
+
+  [[nodiscard]] virtual const ServePolicyInfo& Describe() const noexcept = 0;
+
+  /// The service configuration this policy stands for. Callers stamp the
+  /// run-specific engine fields afterwards (effort and seeds come from
+  /// the experiment, not the policy).
+  [[nodiscard]] virtual ServeConfig MakeConfig() const = 0;
+};
+
+/// Name -> factory registry, deliberately the same shape as
+/// online::OnlinePolicyRegistry (lowercase keys, lazy cached instances,
+/// thread-safe throughout).
+class ServePolicyRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<const ServePolicy>()>;
+
+  ServePolicyRegistry() = default;
+  ServePolicyRegistry(const ServePolicyRegistry&) = delete;
+  ServePolicyRegistry& operator=(const ServePolicyRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-in policies
+  /// (see RegisterBuiltinServePolicies).
+  [[nodiscard]] static ServePolicyRegistry& Global();
+
+  /// Registers `factory` under `name` (normalized to lowercase). Throws
+  /// std::invalid_argument if the name is empty, contains characters
+  /// outside [a-z0-9._-], collides with a registered serve policy, a
+  /// registered placement strategy, or a registered online policy (all
+  /// three registries share the experiment cell-name space; see
+  /// core/registry_namespace.h).
+  void Register(std::string name, Factory factory);
+
+  /// Marks this instance as an owner in the process-wide cell-name space
+  /// (core/registry_namespace.h); same contract as
+  /// core::StrategyRegistry::ClaimCellNamespace — Global() enables it
+  /// ("serve policy"), fresh test instances leave it off.
+  void ClaimCellNamespace(const char* kind) noexcept {
+    namespace_kind_ = kind;
+  }
+
+  /// The policy registered under `name`; nullptr if unknown.
+  [[nodiscard]] std::shared_ptr<const ServePolicy> Find(
+      std::string_view name) const;
+
+  /// Metadata of the policy registered under `name`; nullopt if unknown.
+  [[nodiscard]] std::optional<ServePolicyInfo> Describe(
+      std::string_view name) const;
+
+  [[nodiscard]] bool Contains(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    /// Constructed on first lookup, under mutex_.
+    mutable std::shared_ptr<const ServePolicy> instance;
+  };
+
+  /// Requires mutex_ to be held by the caller.
+  [[nodiscard]] const Entry* FindEntry(const std::string& key) const;
+
+  mutable std::mutex mutex_;
+  // Sorted by key; small enough (tens of policies) that a flat vector
+  // beats a map.
+  std::vector<std::pair<std::string, Entry>> entries_;
+  /// Non-null only for Global() (see ClaimCellNamespace).
+  const char* namespace_kind_ = nullptr;
+};
+
+/// Registers the built-in policies into `registry`:
+///
+///   serve-<N>s-static-<s>          N shards, each running the
+///                                  online-static-<s> oracle engine;
+///   serve-<N>s-ewma-<s>            N shards of online-ewma-<s>,
+///                                  unlimited migration budget;
+///   serve-<N>s-tight-ewma-<s>      as above with a tight global budget
+///                                  (256 migration shifts per window);
+///   serve-<N>s-loose-ewma-<s>      as above with a loose budget
+///                                  (16384 shifts per window);
+///
+/// for N in {1, 2, 4} and s = dma-sr. Global() calls this once; tests
+/// use it to build fresh registries.
+void RegisterBuiltinServePolicies(ServePolicyRegistry& registry);
+
+/// Convenience used by the built-ins and available to external code: a
+/// policy that returns a fixed ServeConfig under a fixed description.
+[[nodiscard]] std::shared_ptr<const ServePolicy> MakeFixedServePolicy(
+    ServePolicyInfo info, ServeConfig config);
+
+/// RAII self-registration into the Global() registry, for policies
+/// defined outside this library. Same linker caveat as
+/// core::StrategyRegistrar: keep registrars in a translation unit that
+/// is otherwise linked in.
+struct ServePolicyRegistrar {
+  ServePolicyRegistrar(std::string name, ServePolicyRegistry::Factory factory);
+};
+
+}  // namespace rtmp::serve

@@ -1,0 +1,371 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace rtmp::serve {
+
+namespace {
+
+/// One shard's slice of the device: an equal DBC partition with the same
+/// track geometry and circuit parameters. The DBC depth widens when the
+/// shard's variable population outgrows its slice, mirroring
+/// sim::CellConfig's oversized-sequence rule; a 1-shard partition of a
+/// paper device is the device itself, which is what makes the
+/// single-shard service bit-identical to a bare engine.
+rtm::RtmConfig ShardDeviceConfig(const rtm::RtmConfig& device,
+                                 unsigned num_shards,
+                                 std::size_t shard_vars) {
+  rtm::RtmConfig shard = device;
+  shard.banks = 1;
+  shard.subarrays_per_bank = 1;
+  shard.dbcs_per_subarray = device.total_dbcs() / num_shards;
+  if (shard_vars > shard.word_capacity()) {
+    const std::uint64_t per_dbc =
+        (shard_vars + shard.dbcs_per_subarray - 1) / shard.dbcs_per_subarray;
+    shard.domains_per_dbc = static_cast<unsigned>(per_dbc);
+  }
+  shard.Validate();
+  return shard;
+}
+
+}  // namespace
+
+const char* ToString(AssignmentPolicy policy) noexcept {
+  switch (policy) {
+    case AssignmentPolicy::kRoundRobin:
+      return "round-robin";
+    case AssignmentPolicy::kLeastLoaded:
+      return "least-loaded";
+    case AssignmentPolicy::kAffinity:
+      return "affinity";
+  }
+  return "?";
+}
+
+AssignmentPolicy ParseAssignmentPolicy(std::string_view text) {
+  if (text == "round-robin") return AssignmentPolicy::kRoundRobin;
+  if (text == "least-loaded") return AssignmentPolicy::kLeastLoaded;
+  if (text == "affinity") return AssignmentPolicy::kAffinity;
+  throw std::invalid_argument("ParseAssignmentPolicy: unknown policy '" +
+                              std::string(text) + "'");
+}
+
+void MigrationBudget::RefillForWindow() noexcept {
+  if (unlimited()) return;
+  granted_ += config_.shifts_per_window;
+  const std::uint64_t ceiling =
+      config_.shifts_per_window * std::max<std::uint64_t>(
+                                      config_.burst_windows, 1);
+  balance_ = std::min(balance_ + config_.shifts_per_window, ceiling);
+}
+
+bool MigrationBudget::TryConsume(std::uint64_t shifts) noexcept {
+  if (unlimited()) {
+    spent_ += shifts;
+    return true;
+  }
+  if (shifts > balance_) return false;
+  balance_ -= shifts;
+  spent_ += shifts;
+  return true;
+}
+
+ChannelArbiter::ChannelArbiter(
+    std::vector<std::vector<std::size_t>> tenants_per_shard,
+    std::vector<unsigned> weights) {
+  if (weights.size() != tenants_per_shard.size()) {
+    throw std::invalid_argument(
+        "ChannelArbiter: one weight per shard required");
+  }
+  shards_.reserve(tenants_per_shard.size());
+  for (std::size_t s = 0; s < tenants_per_shard.size(); ++s) {
+    if (weights[s] == 0) {
+      throw std::invalid_argument("ChannelArbiter: shard weights must be >= 1");
+    }
+    shards_.push_back(ShardQueue{std::move(tenants_per_shard[s]), 0,
+                                 weights[s]});
+  }
+}
+
+std::size_t ChannelArbiter::NextTurn() {
+  if (shards_.empty()) return kDone;
+  for (std::size_t probed = 0; probed < shards_.size(); ++probed) {
+    ShardQueue& queue = shards_[shard_cursor_];
+    if (queue.tenants.empty()) {
+      shard_cursor_ = (shard_cursor_ + 1) % shards_.size();
+      turns_in_shard_ = 0;
+      continue;
+    }
+    const std::size_t session = queue.tenants[queue.cursor];
+    queue.cursor = (queue.cursor + 1) % queue.tenants.size();
+    if (++turns_in_shard_ >= queue.weight) {
+      shard_cursor_ = (shard_cursor_ + 1) % shards_.size();
+      turns_in_shard_ = 0;
+    }
+    return session;
+  }
+  return kDone;
+}
+
+void ChannelArbiter::Retire(std::size_t shard, std::size_t session) {
+  ShardQueue& queue = shards_.at(shard);
+  const auto it =
+      std::find(queue.tenants.begin(), queue.tenants.end(), session);
+  if (it == queue.tenants.end()) return;
+  const std::size_t index =
+      static_cast<std::size_t>(it - queue.tenants.begin());
+  queue.tenants.erase(it);
+  if (index < queue.cursor) --queue.cursor;
+  if (queue.cursor >= queue.tenants.size()) queue.cursor = 0;
+}
+
+PlacementService::PlacementService(ServeConfig config, rtm::RtmConfig device)
+    : config_(std::move(config)),
+      device_(std::move(device)),
+      budget_(config_.budget),
+      shard_load_(config_.num_shards, 0) {
+  if (config_.num_shards == 0) {
+    throw std::invalid_argument("PlacementService: num_shards must be >= 1");
+  }
+  if (device_.total_dbcs() % config_.num_shards != 0) {
+    throw std::invalid_argument(
+        "PlacementService: num_shards must divide the device's DBC count");
+  }
+  if (!config_.shard_weights.empty() &&
+      config_.shard_weights.size() != config_.num_shards) {
+    throw std::invalid_argument(
+        "PlacementService: shard_weights must be empty or one per shard");
+  }
+  for (const unsigned w : config_.shard_weights) {
+    if (w == 0) {
+      throw std::invalid_argument(
+          "PlacementService: shard weights must be >= 1");
+    }
+  }
+}
+
+std::size_t PlacementService::AssignShard(
+    std::string_view name, const trace::AccessSequence& sequence) {
+  const std::size_t shards = config_.num_shards;
+  std::size_t shard = 0;
+  switch (config_.assignment) {
+    case AssignmentPolicy::kRoundRobin:
+      shard = sessions_.size() % shards;
+      break;
+    case AssignmentPolicy::kLeastLoaded: {
+      for (std::size_t s = 1; s < shards; ++s) {
+        if (shard_load_[s] < shard_load_[shard]) shard = s;
+      }
+      break;
+    }
+    case AssignmentPolicy::kAffinity:
+      shard = util::HashString(name) % shards;
+      break;
+  }
+  // Transition weight of the admitted stream (cost-bearing transitions).
+  shard_load_[shard] += sequence.empty()
+                            ? 0
+                            : static_cast<std::uint64_t>(sequence.size() - 1);
+  return shard;
+}
+
+std::size_t PlacementService::OpenSession(
+    std::string tenant_name, const trace::AccessSequence& sequence) {
+  if (finished_) {
+    throw std::logic_error("PlacementService: service already ran");
+  }
+  if (tenant_name.empty()) {
+    throw std::invalid_argument("PlacementService: empty tenant name");
+  }
+  for (const Session& session : sessions_) {
+    if (session.name == tenant_name) {
+      throw std::invalid_argument("PlacementService: duplicate tenant '" +
+                                  tenant_name + "'");
+    }
+  }
+  Session session;
+  session.shard = AssignShard(tenant_name, sequence);
+  session.name = std::move(tenant_name);
+  session.sequence = &sequence;
+  sessions_.push_back(std::move(session));
+  return sessions_.size() - 1;
+}
+
+void PlacementService::ServeTurn(Session& session,
+                                 online::OnlineEngine& engine,
+                                 TenantStats& stats) {
+  budget_.RefillForWindow();
+  const trace::AccessSequence& seq = *session.sequence;
+  const std::size_t remaining = seq.size() - session.cursor;
+  const std::size_t quantum =
+      config_.engine.window_accesses == online::kWholeTraceWindow
+          ? remaining
+          : std::min(config_.engine.window_accesses, remaining);
+
+  const std::uint64_t requests_before = engine.DeviceStats().requests;
+  const rtm::EnergyBreakdown energy_before = engine.DeviceEnergy();
+
+  for (std::size_t i = 0; i < quantum; ++i) {
+    const trace::Access& access = seq[session.cursor + i];
+    engine.Feed(session.base_id + access.variable, access.type);
+    if (access.type == trace::AccessType::kWrite) {
+      ++stats.writes;
+    } else {
+      ++stats.reads;
+    }
+  }
+  session.cursor += quantum;
+  // Close the turn at a window boundary: engine windows map 1:1 onto
+  // (tenant, turn) batches, so the latest record is this turn's.
+  engine.FlushWindow();
+
+  const online::WindowRecord& record = engine.Windows().back();
+  stats.accesses += quantum;
+  stats.device_requests += engine.DeviceStats().requests - requests_before;
+  stats.service_shifts += record.service_shifts;
+  stats.migration_shifts += record.migration_shifts;
+  if (record.replaced) ++stats.migrations;
+  stats.migrated_vars += record.migrated_vars;
+  if (record.budget_denied) ++stats.budget_denials;
+  ++stats.windows;
+  stats.placement_cost += record.window_cost;
+  stats.exposed_latency_ns += record.latency_ns;
+  stats.window_latencies.push_back(record.latency_ns);
+
+  const rtm::EnergyBreakdown energy_after = engine.DeviceEnergy();
+  stats.energy.leakage_pj += energy_after.leakage_pj - energy_before.leakage_pj;
+  stats.energy.read_write_pj +=
+      energy_after.read_write_pj - energy_before.read_write_pj;
+  stats.energy.shift_pj += energy_after.shift_pj - energy_before.shift_pj;
+}
+
+ServeResult PlacementService::Run() {
+  if (finished_) {
+    throw std::logic_error("PlacementService: service already ran");
+  }
+  finished_ = true;
+
+  const std::size_t shards = config_.num_shards;
+  std::vector<std::vector<std::size_t>> members(shards);
+  std::vector<std::size_t> shard_vars(shards, 0);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    members[sessions_[i].shard].push_back(i);
+    shard_vars[sessions_[i].shard] += sessions_[i].sequence->num_variables();
+  }
+
+  // One engine per shard. All controllers point at the one shared
+  // channel; the global budget gates every engine's migrations (after a
+  // caller-provided gate, which keeps its veto).
+  const online::OnlineConfig& recipe = config_.engine;
+  std::vector<std::unique_ptr<online::OnlineEngine>> engines;
+  engines.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    online::OnlineConfig engine_config = recipe;
+    engine_config.controller.shared_channel = &channel_;
+    engine_config.strategy_options.ga.seed =
+        online::WindowSeed(recipe.strategy_options.ga.seed, s);
+    engine_config.strategy_options.rw.seed =
+        online::WindowSeed(recipe.strategy_options.rw.seed, s);
+    engine_config.migration_gate =
+        [this, user_gate = recipe.migration_gate](std::uint64_t shifts) {
+          if (user_gate && !user_gate(shifts)) return false;
+          return budget_.TryConsume(shifts);
+        };
+    engines.push_back(std::make_unique<online::OnlineEngine>(
+        std::move(engine_config),
+        ShardDeviceConfig(device_, config_.num_shards, shard_vars[s])));
+  }
+
+  // Pre-register every tenant's variable space shard-major in admission
+  // order, names prefixed "<tenant>/": ids stay dense per shard, and a
+  // single tenant's ids coincide with its sequence's (oracle property).
+  ServeResult result;
+  result.tenants.resize(sessions_.size());
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const std::size_t i : members[s]) {
+      Session& session = sessions_[i];
+      const trace::AccessSequence& seq = *session.sequence;
+      session.base_id =
+          static_cast<trace::VariableId>(engines[s]->variables_seen());
+      for (trace::VariableId v = 0; v < seq.num_variables(); ++v) {
+        (void)engines[s]->RegisterVariable(session.name + "/" +
+                                           seq.name_of(v));
+      }
+      result.tenants[i].name = session.name;
+      result.tenants[i].shard = s;
+    }
+  }
+
+  // Arbiter over tenants with traffic; accessless tenants keep their
+  // placement slots but never hold the channel.
+  std::vector<std::vector<std::size_t>> active(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const std::size_t i : members[s]) {
+      if (!sessions_[i].sequence->empty()) active[s].push_back(i);
+    }
+  }
+  std::vector<unsigned> weights = config_.shard_weights;
+  if (weights.empty()) weights.assign(shards, 1);
+  ChannelArbiter arbiter(std::move(active), std::move(weights));
+
+  for (std::size_t turn = arbiter.NextTurn(); turn != ChannelArbiter::kDone;
+       turn = arbiter.NextTurn()) {
+    Session& session = sessions_[turn];
+    ServeTurn(session, *engines[session.shard], result.tenants[turn]);
+    if (session.cursor >= session.sequence->size()) {
+      arbiter.Retire(session.shard, turn);
+    }
+  }
+
+  const unsigned dbcs_per_shard =
+      device_.total_dbcs() / config_.num_shards;
+  result.shards.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardStats shard;
+    shard.index = s;
+    shard.first_dbc = static_cast<unsigned>(s) * dbcs_per_shard;
+    shard.num_dbcs = dbcs_per_shard;
+    for (const std::size_t i : members[s]) {
+      shard.tenants.push_back(sessions_[i].name);
+    }
+    shard.result = engines[s]->Finish();
+
+    const online::OnlineResult& r = shard.result;
+    result.service_shifts += r.service_shifts;
+    result.migration_shifts += r.migration_shifts;
+    result.reads += r.reads;
+    result.writes += r.writes;
+    result.migrations += r.migrations;
+    result.migrated_vars += r.migrated_vars;
+    result.budget_denials += r.budget_denials;
+    result.placement_cost += r.placement_cost;
+    result.placement_wall_ms += r.placement_wall_ms;
+    result.evaluations += r.evaluations;
+    result.makespan_ns = std::max(result.makespan_ns, r.stats.makespan_ns);
+    result.energy.leakage_pj += r.energy.leakage_pj;
+    result.energy.read_write_pj += r.energy.read_write_pj;
+    result.energy.shift_pj += r.energy.shift_pj;
+    result.shards.push_back(std::move(shard));
+  }
+  result.total_shifts = result.service_shifts + result.migration_shifts;
+  result.budget_granted = budget_.granted();
+  result.budget_spent = budget_.spent();
+
+  std::vector<double> mean_latencies;
+  for (const TenantStats& tenant : result.tenants) {
+    if (tenant.windows > 0) {
+      mean_latencies.push_back(tenant.mean_window_latency_ns());
+    }
+  }
+  result.fairness = util::JainFairness(mean_latencies);
+  return result;
+}
+
+}  // namespace rtmp::serve

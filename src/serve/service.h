@@ -1,0 +1,285 @@
+// Multi-tenant placement service: several tenants' access streams served
+// concurrently on ONE device.
+//
+// The device's DBCs are partitioned into `num_shards` equal shards, each
+// driven by its own online::OnlineEngine (private DBC state, private
+// placement, private phase detector). What stays shared is exactly what
+// hardware shares:
+//
+//  * the read/write channel — every shard controller books occupancy on
+//    one rtm::SharedChannel, so one tenant's traffic delays another's;
+//  * the migration budget — a global MigrationBudget meters re-placement
+//    shifts across ALL shards (per-window refill with a bounded burst
+//    allowance), plugged into each engine's migration_gate;
+//  * the arbiter — a deterministic weighted-round-robin ChannelArbiter
+//    decides which tenant's next window batch is issued, one engine
+//    window per turn.
+//
+// Tenants are assigned to shards by a pluggable AssignmentPolicy
+// (round-robin, least-loaded by transition weight, or name-affinity
+// hashing). Per-tenant accounting (TenantStats) attributes every window's
+// accesses, shifts, exposed latency, energy and budget denials to the
+// tenant whose turn produced them; the per-tenant sums reproduce the
+// device totals exactly on integer counters (and to rounding on energy).
+//
+// Oracle property (pinned by tests/serve_service_test.cpp): one tenant on
+// one shard with an unlimited budget is bit-identical to a bare
+// OnlineEngine run of the same configuration — same placement decisions,
+// same shift counts, same makespan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "online/engine.h"
+#include "rtm/config.h"
+#include "rtm/controller.h"
+#include "rtm/energy_model.h"
+#include "trace/access_sequence.h"
+
+namespace rtmp::serve {
+
+/// How tenants are mapped onto shards at admission time.
+enum class AssignmentPolicy : std::uint8_t {
+  /// i-th admitted tenant goes to shard i mod num_shards.
+  kRoundRobin,
+  /// Shard with the least accumulated transition weight (sequence length
+  /// minus one, the number of cost-bearing transitions); lowest index on
+  /// ties. Balances load when tenants differ wildly in traffic.
+  kLeastLoaded,
+  /// util::HashString(tenant name) mod num_shards: a tenant re-admitted
+  /// under the same name always lands on the same shard.
+  kAffinity,
+};
+
+/// "round-robin", "least-loaded", "affinity".
+[[nodiscard]] const char* ToString(AssignmentPolicy policy) noexcept;
+
+/// Inverse of ToString; throws std::invalid_argument on unknown text.
+[[nodiscard]] AssignmentPolicy ParseAssignmentPolicy(std::string_view text);
+
+/// Global re-placement allowance shared by every shard.
+struct MigrationBudgetConfig {
+  /// Migration shifts granted per served window; 0 = unlimited.
+  std::uint64_t shifts_per_window = 0;
+  /// Unused allowance accumulates up to shifts_per_window *
+  /// burst_windows, so a quiet stretch can bankroll one large
+  /// re-placement without unmetering steady-state traffic.
+  std::uint64_t burst_windows = 4;
+};
+
+/// Token-bucket meter over migration shifts (see MigrationBudgetConfig).
+/// The service calls RefillForWindow() once per arbitration turn and
+/// plugs TryConsume into every shard engine's migration_gate; turns are
+/// serialized by the arbiter, so no locking is needed.
+class MigrationBudget {
+ public:
+  explicit MigrationBudget(MigrationBudgetConfig config) : config_(config) {}
+
+  [[nodiscard]] bool unlimited() const noexcept {
+    return config_.shifts_per_window == 0;
+  }
+
+  /// Accrues one window's allowance (capped at the burst ceiling).
+  void RefillForWindow() noexcept;
+
+  /// Admits a migration estimated at `shifts` if covered; consumes on
+  /// admission. Unlimited budgets admit everything (and still track
+  /// spending).
+  [[nodiscard]] bool TryConsume(std::uint64_t shifts) noexcept;
+
+  /// Total allowance accrued / migration shifts admitted so far. For a
+  /// limited budget spent() <= granted() is an invariant.
+  [[nodiscard]] std::uint64_t granted() const noexcept { return granted_; }
+  [[nodiscard]] std::uint64_t spent() const noexcept { return spent_; }
+  [[nodiscard]] std::uint64_t balance() const noexcept { return balance_; }
+
+ private:
+  MigrationBudgetConfig config_;
+  std::uint64_t balance_ = 0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t spent_ = 0;
+};
+
+/// Deterministic weighted-round-robin interleaving of per-shard tenant
+/// queues on the shared channel. One turn = one engine window of one
+/// tenant. A shard with weight w serves w consecutive turns (round-robin
+/// over its active tenants) before the arbiter moves on; exhausted
+/// tenants are retired and skipped.
+class ChannelArbiter {
+ public:
+  /// Sentinel session index for "every tenant is retired".
+  static constexpr std::size_t kDone = static_cast<std::size_t>(-1);
+
+  /// `tenants_per_shard[s]` lists the session indices assigned to shard
+  /// s in admission order; `weights` must have one entry (>= 1) per
+  /// shard. Throws std::invalid_argument on a size mismatch or a zero
+  /// weight.
+  ChannelArbiter(std::vector<std::vector<std::size_t>> tenants_per_shard,
+                 std::vector<unsigned> weights);
+
+  /// The session index whose window batch goes next; kDone when every
+  /// tenant has been retired. Advances the arbiter state.
+  [[nodiscard]] std::size_t NextTurn();
+
+  /// Removes a finished session from its shard's queue.
+  void Retire(std::size_t shard, std::size_t session);
+
+ private:
+  struct ShardQueue {
+    std::vector<std::size_t> tenants;
+    std::size_t cursor = 0;  ///< next tenant within the shard
+    unsigned weight = 1;
+  };
+
+  std::vector<ShardQueue> shards_;
+  std::size_t shard_cursor_ = 0;    ///< shard currently holding the channel
+  unsigned turns_in_shard_ = 0;     ///< turns served in the current hold
+};
+
+struct ServeConfig {
+  /// Equal DBC partitions of the device; must divide total_dbcs().
+  unsigned num_shards = 1;
+  AssignmentPolicy assignment = AssignmentPolicy::kRoundRobin;
+  /// Arbiter weight per shard (consecutive turns before moving on);
+  /// empty = weight 1 everywhere, otherwise one entry (>= 1) per shard.
+  std::vector<unsigned> shard_weights;
+  MigrationBudgetConfig budget{};
+  /// Per-shard engine recipe. The service overrides
+  /// controller.shared_channel (all shards share one channel), composes
+  /// migration_gate with the global budget (a caller-provided gate is
+  /// consulted first), and derives per-shard search seeds with
+  /// online::WindowSeed(base, shard) — shard 0 keeps the base seeds
+  /// verbatim, preserving the single-shard oracle.
+  online::OnlineConfig engine{};
+};
+
+/// Everything attributed to one tenant across its turns.
+struct TenantStats {
+  std::string name;
+  std::size_t shard = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;   ///< service reads fed by this tenant
+  std::uint64_t writes = 0;  ///< service writes fed by this tenant
+  /// Controller requests issued during this tenant's turns (service plus
+  /// migration traffic its windows triggered).
+  std::uint64_t device_requests = 0;
+  std::uint64_t service_shifts = 0;
+  std::uint64_t migration_shifts = 0;
+  std::size_t migrations = 0;
+  std::size_t migrated_vars = 0;
+  /// Re-placements the shared budget denied during this tenant's turns.
+  std::size_t budget_denials = 0;
+  std::size_t windows = 0;
+  std::uint64_t placement_cost = 0;
+  /// Sum of WindowRecord::latency_ns over the tenant's windows: the
+  /// makespan its turns added, including waits behind other tenants on
+  /// the shared channel.
+  double exposed_latency_ns = 0.0;
+  /// Per-window exposed latencies (fairness is scored on their mean).
+  std::vector<double> window_latencies;
+  /// Energy delta across the tenant's turns (leakage follows makespan
+  /// advance, so shared-channel waits are charged to the waiting tenant).
+  rtm::EnergyBreakdown energy{};
+
+  [[nodiscard]] double mean_window_latency_ns() const noexcept {
+    if (windows == 0) return 0.0;
+    return exposed_latency_ns / static_cast<double>(windows);
+  }
+};
+
+/// One shard's engine run plus its DBC slice.
+struct ShardStats {
+  std::size_t index = 0;
+  unsigned first_dbc = 0;
+  unsigned num_dbcs = 0;
+  std::vector<std::string> tenants;  ///< names, admission order
+  online::OnlineResult result;
+};
+
+/// The service's aggregate view of one Run().
+struct ServeResult {
+  std::vector<TenantStats> tenants;  ///< admission order
+  std::vector<ShardStats> shards;
+  std::uint64_t service_shifts = 0;
+  std::uint64_t migration_shifts = 0;
+  /// service + migration — the device total; per-tenant service and
+  /// migration shifts sum to it exactly.
+  std::uint64_t total_shifts = 0;
+  std::uint64_t reads = 0;   ///< incl. migration reads
+  std::uint64_t writes = 0;  ///< incl. migration writes
+  std::size_t migrations = 0;
+  std::size_t migrated_vars = 0;
+  std::size_t budget_denials = 0;
+  std::uint64_t budget_granted = 0;
+  std::uint64_t budget_spent = 0;
+  /// Finish time of the latest shard (shards share one timeline through
+  /// the channel, so this is the service makespan).
+  double makespan_ns = 0.0;
+  rtm::EnergyBreakdown energy{};
+  /// Jain fairness index over the mean per-window exposed latency of
+  /// every tenant that served at least one window.
+  double fairness = 1.0;
+  std::uint64_t placement_cost = 0;
+  double placement_wall_ms = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// One service run: admit tenants with OpenSession(), then Run() once.
+///
+/// Sequences are borrowed — they must outlive Run(). Tenant variable
+/// names are prefixed "<tenant>/" inside the shard engines, so tenants
+/// may reuse names freely without sharing placement slots.
+class PlacementService {
+ public:
+  /// Validates the configuration: num_shards must be >= 1 and divide the
+  /// device's DBC count, shard_weights empty or one nonzero entry per
+  /// shard (the engine recipe validates itself when the shards are
+  /// built). Throws std::invalid_argument.
+  PlacementService(ServeConfig config, rtm::RtmConfig device);
+
+  /// Admits a tenant and assigns its shard per the assignment policy.
+  /// Returns the session index (admission order). Throws
+  /// std::invalid_argument on an empty or duplicate name, std::logic_error
+  /// after Run().
+  std::size_t OpenSession(std::string tenant_name,
+                          const trace::AccessSequence& sequence);
+
+  /// Serves every admitted tenant to completion and returns the
+  /// aggregate result. One-shot: throws std::logic_error on reuse.
+  [[nodiscard]] ServeResult Run();
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t num_sessions() const noexcept {
+    return sessions_.size();
+  }
+
+ private:
+  struct Session {
+    std::string name;
+    const trace::AccessSequence* sequence = nullptr;
+    std::size_t shard = 0;
+    /// First engine variable id of this tenant's (prefixed) space.
+    trace::VariableId base_id = 0;
+    std::size_t cursor = 0;  ///< next un-fed access
+  };
+
+  [[nodiscard]] std::size_t AssignShard(std::string_view name,
+                                        const trace::AccessSequence& sequence);
+  /// Feeds one window batch of `session` and attributes the outcome.
+  void ServeTurn(Session& session, online::OnlineEngine& engine,
+                 TenantStats& stats);
+
+  ServeConfig config_;
+  rtm::RtmConfig device_;
+  MigrationBudget budget_;
+  rtm::SharedChannel channel_;
+  std::vector<Session> sessions_;
+  /// Accumulated transition weight per shard (kLeastLoaded bookkeeping).
+  std::vector<std::uint64_t> shard_load_;
+  bool finished_ = false;
+};
+
+}  // namespace rtmp::serve

@@ -12,6 +12,8 @@
 #include "core/strategy_registry.h"
 #include "online/online_cell.h"
 #include "online/policy.h"
+#include "serve/serve_cell.h"
+#include "serve/serve_policy.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "workloads/workload.h"
@@ -119,24 +121,35 @@ RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
                   std::string_view strategy_name,
                   const ExperimentOptions& options) {
   const auto runner = core::StrategyRegistry::Global().Find(strategy_name);
+  const bool is_online =
+      online::OnlinePolicyRegistry::Global().Contains(strategy_name);
+  const bool is_serve =
+      serve::ServePolicyRegistry::Global().Contains(strategy_name);
+  // The registries reject cross-registry collisions at registration
+  // (enforced process-wide by core::RegistryNamespace for the Global()
+  // instances), but a name registered AFTER its twin would silently
+  // shadow it here — refuse to guess which one the caller meant.
+  if ((runner != nullptr) + is_online + is_serve > 1) {
+    throw std::invalid_argument(
+        "RunCell: '" + std::string(strategy_name) +
+        "' is registered in more than one of the strategy, online-policy "
+        "and serve-policy registries; re-register one under a distinct "
+        "name");
+  }
   if (!runner) {
-    // Online policies share the strategy name space: a miss here is an
-    // online cell if the policy registry knows the name.
-    if (online::OnlinePolicyRegistry::Global().Contains(strategy_name)) {
+    // Online and serve policies share the strategy name space: a miss
+    // here is an online or serve cell when those registries know the
+    // name.
+    if (is_online) {
       return online::RunOnlineCell(benchmark, dbcs, strategy_name, options);
+    }
+    if (is_serve) {
+      return serve::RunServeCell(benchmark, dbcs, strategy_name, options);
     }
     throw std::invalid_argument(
         "RunCell: '" + std::string(strategy_name) +
-        "' is neither a registered strategy nor an online policy");
-  }
-  // The policy registry rejects strategy names at registration, but a
-  // strategy registered AFTER a policy would silently shadow it here —
-  // refuse to guess which one the caller meant.
-  if (online::OnlinePolicyRegistry::Global().Contains(strategy_name)) {
-    throw std::invalid_argument(
-        "RunCell: '" + std::string(strategy_name) +
-        "' names both a strategy and an online policy; re-register one "
-        "under a distinct name");
+        "' is neither a registered strategy, an online policy, nor a "
+        "serve policy");
   }
 
   RunResult run;

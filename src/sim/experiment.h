@@ -150,9 +150,11 @@ struct ExperimentOptions {
 
 /// Runs one benchmark / strategy / DBC-count cell. The name is resolved
 /// through StrategyRegistry::Global() first and, on a miss, through
-/// online::OnlinePolicyRegistry::Global() (online policies are cells
-/// like any other — see online/online_cell.h); throws
-/// std::invalid_argument if neither registry knows it.
+/// online::OnlinePolicyRegistry::Global() and then
+/// serve::ServePolicyRegistry::Global() (online and serve policies are
+/// cells like any other — see online/online_cell.h and
+/// serve/serve_cell.h); throws std::invalid_argument if no registry
+/// knows it.
 [[nodiscard]] RunResult RunCell(const offsetstone::Benchmark& benchmark,
                                 unsigned dbcs,
                                 std::string_view strategy_name,

@@ -48,6 +48,17 @@ double Max(std::span<const double> values) noexcept {
   return *std::max_element(values.begin(), values.end());
 }
 
+double JainFairness(std::span<const double> values) noexcept {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double value : values) {
+    sum += value;
+    sum_sq += value * value;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
 Summary Summarize(std::span<const double> values) {
   Summary s;
   s.count = values.size();

@@ -28,6 +28,12 @@ namespace rtmp::util {
 [[nodiscard]] double Min(std::span<const double> values) noexcept;
 [[nodiscard]] double Max(std::span<const double> values) noexcept;
 
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative
+/// samples: 1 when every x_i is equal, 1/n when one sample holds
+/// everything. 1 for empty or all-zero input (nothing is being divided
+/// unfairly). The serve layer scores per-tenant latencies with this.
+[[nodiscard]] double JainFairness(std::span<const double> values) noexcept;
+
 /// Five-number-style summary of a sample.
 struct Summary {
   std::size_t count = 0;

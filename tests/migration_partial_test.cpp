@@ -1,0 +1,210 @@
+// Partial migration (ISSUE 6 satellite): TrimMigration's shift-invariant
+// guarantees, its controller-level timing invariants, and the engine
+// knobs (migration_fraction / migration_min_benefit) that drive it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/strategy_registry.h"
+#include "online/engine.h"
+#include "online/migration.h"
+#include "rtm/controller.h"
+#include "sim/experiment.h"
+#include "trace/access_sequence.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace rtmp;
+
+trace::AccessSequence WorkloadSequence(const std::string& name,
+                                       std::size_t index = 0) {
+  const auto workload = workloads::ResolveWorkload(name);
+  EXPECT_NE(workload, nullptr) << name;
+  auto benchmark = workload->Generate({});
+  EXPECT_GT(benchmark.sequences.size(), index);
+  return std::move(benchmark.sequences[index]);
+}
+
+core::Placement StaticPlacement(const std::string& strategy_name,
+                                const trace::AccessSequence& seq,
+                                const rtm::RtmConfig& config,
+                                const core::StrategyOptions& options) {
+  const auto strategy = core::StrategyRegistry::Global().Find(strategy_name);
+  EXPECT_NE(strategy, nullptr);
+  core::PlacementRequest request;
+  request.sequence = &seq;
+  request.num_dbcs = config.total_dbcs();
+  request.capacity = config.domains_per_dbc;
+  request.options = options;
+  return strategy->Run(request).placement;
+}
+
+TEST(TrimMigration, NeverCostsMoreThanTheFullDiff) {
+  for (const char* workload : {"gemm-tiled", "kv-churn"}) {
+    const trace::AccessSequence seq = WorkloadSequence(workload);
+    const rtm::RtmConfig config = sim::CellConfig(4, seq.num_variables());
+    core::StrategyOptions options;
+    options.cost.initial_alignment = config.initial_alignment;
+    const core::Placement from =
+        StaticPlacement("dma-sr", seq, config, options);
+    const core::Placement to =
+        StaticPlacement("afd-ofu", seq, config, options);
+    const online::MigrationPlan full = online::PlanMigration(from, to);
+    ASSERT_FALSE(full.empty()) << workload;
+
+    for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const online::TrimmedMigration trimmed = online::TrimMigration(
+          from, to, seq, options.cost, fraction, /*min_benefit=*/0);
+      EXPECT_LE(trimmed.plan.estimated_shifts, full.estimated_shifts)
+          << workload << " fraction " << fraction;
+      trimmed.placement.CheckInvariants();
+      EXPECT_EQ(trimmed.placement.num_variables(), from.num_variables());
+    }
+
+    // The two endpoints are pinned exactly: fraction 0 keeps nothing,
+    // fraction 1 with no benefit bar is the untrimmed plan verbatim.
+    const online::TrimmedMigration none = online::TrimMigration(
+        from, to, seq, options.cost, 0.0, /*min_benefit=*/0);
+    EXPECT_TRUE(none.plan.empty());
+    EXPECT_EQ(none.placement, from);
+    const online::TrimmedMigration all = online::TrimMigration(
+        from, to, seq, options.cost, 1.0, /*min_benefit=*/0);
+    EXPECT_EQ(all.placement, to);
+    EXPECT_EQ(all.plan.moves.size(), full.moves.size());
+    EXPECT_EQ(all.plan.estimated_shifts, full.estimated_shifts);
+  }
+}
+
+TEST(TrimMigration, MinBenefitRaisesTheBar) {
+  const trace::AccessSequence seq = WorkloadSequence("gemm-tiled");
+  const rtm::RtmConfig config = sim::CellConfig(4, seq.num_variables());
+  core::StrategyOptions options;
+  options.cost.initial_alignment = config.initial_alignment;
+  const core::Placement from = StaticPlacement("dma-sr", seq, config, options);
+  const core::Placement to = StaticPlacement("afd-ofu", seq, config, options);
+  const online::MigrationPlan full = online::PlanMigration(from, to);
+  ASSERT_FALSE(full.empty());
+
+  const online::TrimmedMigration modest = online::TrimMigration(
+      from, to, seq, options.cost, 1.0, /*min_benefit=*/4);
+  EXPECT_LE(modest.plan.estimated_shifts, full.estimated_shifts);
+
+  // A bar no single move can clear trims the migration to nothing.
+  const online::TrimmedMigration impossible = online::TrimMigration(
+      from, to, seq, options.cost, 1.0, /*min_benefit=*/1'000'000'000);
+  EXPECT_TRUE(impossible.plan.empty());
+  EXPECT_EQ(impossible.placement, from);
+}
+
+TEST(TrimMigration, TrimmedPlanKeepsControllerTimingInvariants) {
+  const trace::AccessSequence seq = WorkloadSequence("gemm-tiled");
+  const rtm::RtmConfig config = sim::CellConfig(4, seq.num_variables());
+  core::StrategyOptions options;
+  options.cost.initial_alignment = config.initial_alignment;
+  const core::Placement from = StaticPlacement("dma-sr", seq, config, options);
+  const core::Placement to = StaticPlacement("afd-ofu", seq, config, options);
+  const online::TrimmedMigration trimmed = online::TrimMigration(
+      from, to, seq, options.cost, 0.5, /*min_benefit=*/0);
+  ASSERT_FALSE(trimmed.plan.empty());
+
+  for (const bool proactive : {false, true}) {
+    rtm::ControllerConfig controller_config;
+    controller_config.proactive_alignment = proactive;
+    controller_config.lookahead = 4;
+    rtm::RtmController controller(config, controller_config);
+    (void)controller.Execute(trimmed.plan.requests);
+    const rtm::ControllerStats& stats = controller.stats();
+    EXPECT_EQ(stats.requests, trimmed.plan.requests.size());
+    // Shift time splits exactly into hidden and exposed parts, and the
+    // shared channel is never busier than the run is long.
+    EXPECT_NEAR(stats.shift_busy_ns,
+                stats.hidden_shift_ns + stats.exposed_shift_ns,
+                1e-9 * std::max(1.0, stats.shift_busy_ns));
+    EXPECT_LE(stats.channel_busy_ns, stats.makespan_ns + 1e-9);
+    if (!proactive) {
+      EXPECT_DOUBLE_EQ(stats.hidden_shift_ns, 0.0);
+    }
+  }
+}
+
+TEST(OnlineEngine, PartialMigrationKeepsTheShiftDecomposition) {
+  const trace::AccessSequence seq =
+      WorkloadSequence("phased(gemm-tiled,stream-scan)", 1);
+  const rtm::RtmConfig config = sim::CellConfig(4, seq.num_variables());
+
+  online::OnlineConfig online_config;
+  online_config.reseed_strategy = "dma-sr";
+  online_config.window_accesses = 200;
+  online_config.detector.kind = online::DetectorKind::kFixedWindow;
+  online_config.detector.period = 1;
+  online_config.always_accept_reseed = true;
+  online_config.migration_fraction = 0.5;
+  online_config.strategy_options.cost.initial_alignment =
+      config.initial_alignment;
+
+  const online::OnlineResult result =
+      online::RunOnline(seq, online_config, config);
+  ASSERT_GT(result.migrations, 0u);
+  EXPECT_EQ(result.amortized_shifts,
+            result.service_shifts + result.migration_shifts);
+  EXPECT_EQ(result.amortized_shifts, result.stats.shifts);
+
+  std::uint64_t window_service = 0;
+  std::uint64_t window_migration = 0;
+  for (const online::WindowRecord& record : result.windows) {
+    window_service += record.service_shifts;
+    window_migration += record.migration_shifts;
+  }
+  EXPECT_EQ(window_service, result.service_shifts);
+  EXPECT_EQ(window_migration, result.migration_shifts);
+}
+
+TEST(OnlineEngine, ImpossibleMinBenefitSuppressesAllMigrations) {
+  const trace::AccessSequence seq =
+      WorkloadSequence("phased(gemm-tiled,stream-scan)", 1);
+  const rtm::RtmConfig config = sim::CellConfig(4, seq.num_variables());
+
+  online::OnlineConfig online_config;
+  online_config.reseed_strategy = "dma-sr";
+  online_config.window_accesses = 200;
+  online_config.detector.kind = online::DetectorKind::kFixedWindow;
+  online_config.detector.period = 1;
+  online_config.always_accept_reseed = true;
+  online_config.migration_min_benefit = 1'000'000'000;
+  online_config.strategy_options.cost.initial_alignment =
+      config.initial_alignment;
+
+  const online::OnlineResult result =
+      online::RunOnline(seq, online_config, config);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_EQ(result.migration_shifts, 0u);
+  EXPECT_EQ(result.migrated_vars, 0u);
+  EXPECT_GT(result.windows.size(), 1u);
+}
+
+TEST(TrimMigration, RejectsInvalidFractions) {
+  const trace::AccessSequence seq = WorkloadSequence("gemm-tiled");
+  const rtm::RtmConfig config = sim::CellConfig(4, seq.num_variables());
+  core::StrategyOptions options;
+  options.cost.initial_alignment = config.initial_alignment;
+  const core::Placement from = StaticPlacement("dma-sr", seq, config, options);
+  const core::Placement to = StaticPlacement("afd-ofu", seq, config, options);
+  for (const double fraction :
+       {-0.1, 1.5, std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_THROW((void)online::TrimMigration(from, to, seq, options.cost,
+                                             fraction, 0),
+                 std::invalid_argument);
+  }
+  online::OnlineConfig bad;
+  bad.reseed_strategy = "dma-sr";
+  bad.migration_fraction = 1.5;
+  EXPECT_THROW(online::OnlineEngine(bad, config), std::invalid_argument);
+}
+
+}  // namespace
