@@ -67,6 +67,9 @@ void ScenarioContext::AddCells(const std::vector<sim::RunResult>& cells) {
 
 ScenarioRegistry& ScenarioRegistry::Global() {
   static ScenarioRegistry* registry = [] {
+    // Leaked Global() singleton: must outlive scenario lookups that
+    // run during static destruction.
+    // NOLINTNEXTLINE(rtmlint:naked-new): leaked Global() singleton.
     auto* r = new ScenarioRegistry();
     internal::RegisterBuiltinScenarios(*r);
     return r;
@@ -108,9 +111,13 @@ BenchReport RunScenario(const Scenario& scenario, bool quiet) {
   // suite seed; Configure() fills in search_seed when a matrix runs.
   report.suite_seed = 0;
 
+  // wall_s IS a wall-clock metric (loose-tolerance in the comparator),
+  // not part of the deterministic results — a raw clock is the point.
+  // NOLINTNEXTLINE(rtmlint:determinism-rng): wall-clock metric by design.
   const auto start = std::chrono::steady_clock::now();
   scenario.run(context);
   report.wall_s =
+      // NOLINTNEXTLINE(rtmlint:determinism-rng): wall-clock metric.
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return report;

@@ -5,7 +5,6 @@
 #include <deque>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "trace/access_graph.h"
 
@@ -55,7 +54,13 @@ LocalProblem BuildLocal(std::span<const trace::Access> accesses,
   const std::size_t n = local.globals.size();
   local.frequency.assign(n, 0);
   local.adjacency.assign(n, {});
-  std::unordered_map<std::uint64_t, std::uint64_t> weights;
+  // Packed (lo, hi) transition pairs, sorted then run-length counted:
+  // edge weights accumulate in key order, so adjacency construction is
+  // deterministic with no hash-ordered container in the path (the
+  // adjacency lists feed heuristic tie-breaks and, through them, the
+  // golden-checked reports).
+  std::vector<std::uint64_t> transitions;
+  transitions.reserve(restricted.size());
   std::size_t prev = kNoIndex;
   for (const trace::Access& a : restricted) {
     const std::size_t cur = to_local[a.variable];
@@ -63,15 +68,21 @@ LocalProblem BuildLocal(std::span<const trace::Access> accesses,
     if (prev != kNoIndex && prev != cur) {
       const std::uint64_t lo = std::min(prev, cur);
       const std::uint64_t hi = std::max(prev, cur);
-      ++weights[(lo << 32) | hi];
+      transitions.push_back((lo << 32) | hi);
     }
     prev = cur;
   }
-  for (const auto& [key, weight] : weights) {
+  std::sort(transitions.begin(), transitions.end());
+  for (std::size_t i = 0; i < transitions.size();) {
+    const std::uint64_t key = transitions[i];
+    std::size_t j = i;
+    while (j < transitions.size() && transitions[j] == key) ++j;
+    const std::uint64_t weight = j - i;
     const auto u = static_cast<std::size_t>(key >> 32);
     const auto v = static_cast<std::size_t>(key & 0xFFFFFFFFULL);
     local.adjacency[u].push_back({static_cast<VariableId>(v), weight});
     local.adjacency[v].push_back({static_cast<VariableId>(u), weight});
+    i = j;
   }
   for (auto& edges : local.adjacency) {
     std::sort(edges.begin(), edges.end(),

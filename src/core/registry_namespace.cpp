@@ -6,6 +6,9 @@
 namespace rtmp::core {
 
 RegistryNamespace& RegistryNamespace::Global() {
+  // Leaked: the registries claim names from static initializers in
+  // any TU order, so this must outlive every static destructor.
+  // NOLINTNEXTLINE(rtmlint:naked-new): leaked Global() singleton.
   static RegistryNamespace* names = new RegistryNamespace();
   return *names;
 }

@@ -161,6 +161,8 @@ PlacementResult RunTimed(const PlacementStrategy& strategy,
 
 StrategyRegistry& StrategyRegistry::Global() {
   static StrategyRegistry* registry = [] {
+    // Leaked: outlives StrategyRegistrar uses in static destructors.
+    // NOLINTNEXTLINE(rtmlint:naked-new): leaked Global() singleton.
     auto* r = new StrategyRegistry();
     r->ClaimCellNamespace("strategy");
     RegisterBuiltinStrategies(*r);

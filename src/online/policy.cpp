@@ -108,6 +108,9 @@ std::shared_ptr<const OnlinePolicy> MakeFixedPolicy(OnlinePolicyInfo info,
 
 OnlinePolicyRegistry& OnlinePolicyRegistry::Global() {
   static OnlinePolicyRegistry* registry = [] {
+    // Leaked: outlives OnlinePolicyRegistrar uses in static
+    // destructors.
+    // NOLINTNEXTLINE(rtmlint:naked-new): leaked Global() singleton.
     auto* r = new OnlinePolicyRegistry();
     r->ClaimCellNamespace("online policy");
     RegisterBuiltinOnlinePolicies(*r);

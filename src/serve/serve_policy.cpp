@@ -110,6 +110,9 @@ std::shared_ptr<const ServePolicy> MakeFixedServePolicy(ServePolicyInfo info,
 
 ServePolicyRegistry& ServePolicyRegistry::Global() {
   static ServePolicyRegistry* registry = [] {
+    // Leaked: outlives ServePolicyRegistrar uses in static
+    // destructors.
+    // NOLINTNEXTLINE(rtmlint:naked-new): leaked Global() singleton.
     auto* r = new ServePolicyRegistry();
     r->ClaimCellNamespace("serve policy");
     RegisterBuiltinServePolicies(*r);

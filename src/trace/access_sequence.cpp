@@ -1,7 +1,6 @@
 #include "trace/access_sequence.h"
 
 #include <stdexcept>
-#include <unordered_set>
 
 namespace rtmp::trace {
 
@@ -67,10 +66,17 @@ std::size_t AccessSequence::CountWrites() const noexcept {
 
 std::vector<Access> AccessSequence::Restrict(
     std::span<const VariableId> subset) const {
-  std::unordered_set<VariableId> wanted(subset.begin(), subset.end());
+  // Variable ids are dense (assigned in registration order), so subset
+  // membership is a flat bitmap — cheaper than a hash set, and no
+  // unordered container near the per-DBC subsequences that feed every
+  // cost figure.
+  std::vector<bool> wanted(names_.size(), false);
+  for (const VariableId v : subset) {
+    if (v < wanted.size()) wanted[v] = true;
+  }
   std::vector<Access> out;
   for (const Access& a : accesses_) {
-    if (wanted.contains(a.variable)) out.push_back(a);
+    if (wanted[a.variable]) out.push_back(a);
   }
   return out;
 }

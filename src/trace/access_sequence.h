@@ -107,6 +107,10 @@ class AccessSequence {
 
  private:
   std::vector<std::string> names_;
+  /// Lookup-only (find/emplace, never iterated): hash order must not
+  /// leak into anything observable. `names_` is the deterministic,
+  /// registration-ordered view; rtmlint's unordered-iteration rule
+  /// keeps it that way.
   std::unordered_map<std::string, VariableId> ids_;
   std::vector<Access> accesses_;
 };

@@ -23,6 +23,8 @@ void ValidateRequest(const WorkloadRequest& request) {
 
 WorkloadRegistry& WorkloadRegistry::Global() {
   static WorkloadRegistry* registry = [] {
+    // Leaked: outlives WorkloadRegistrar uses in static destructors.
+    // NOLINTNEXTLINE(rtmlint:naked-new): leaked Global() singleton.
     auto* r = new WorkloadRegistry();
     RegisterBuiltinWorkloads(*r);
     return r;

@@ -552,6 +552,8 @@ TEST(ServePolicyRegistry, GlobalNamespaceArbitratesAcrossRegistries) {
   const auto online_factory = [] {
     return online::MakeFixedPolicy({"p", "test", "dma-sr", "none"}, {});
   };
+  // The direct Register() call is exactly what must throw here.
+  // NOLINTNEXTLINE(rtmlint:registry-discipline): negative collision test.
   EXPECT_THROW(online::OnlinePolicyRegistry::Global().Register(
                    "serve-1s-static-dma-sr", online_factory),
                std::invalid_argument);
@@ -560,6 +562,8 @@ TEST(ServePolicyRegistry, GlobalNamespaceArbitratesAcrossRegistries) {
     return serve::MakeFixedServePolicy(
         {"p", "test", "online-static-dma-sr", 1, "unlimited"}, {});
   };
+  // The direct Register() call is exactly what must throw here.
+  // NOLINTNEXTLINE(rtmlint:registry-discipline): negative collision test.
   EXPECT_THROW(serve::ServePolicyRegistry::Global().Register(
                    "online-ewma-dma-sr", serve_factory),
                std::invalid_argument);

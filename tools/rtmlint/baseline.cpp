@@ -1,0 +1,116 @@
+#include "rtmlint/baseline.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace rtmp::rtmlint {
+
+Baseline Baseline::Parse(std::string_view text) {
+  Baseline baseline;
+  int line_no = 0;
+  for (const std::string& raw : util::Split(std::string(text), '\n')) {
+    ++line_no;
+    const std::string_view line = util::Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string> fields = util::Split(std::string(line),
+                                                        '|');
+    if (fields.size() != 4) {
+      throw std::invalid_argument(
+          "baseline line " + std::to_string(line_no) +
+          ": expected <rule>|<path>|<context>|<reason>, got '" +
+          std::string(line) + "'");
+    }
+    BaselineEntry entry;
+    entry.rule = std::string(util::Trim(fields[0]));
+    entry.file = std::string(util::Trim(fields[1]));
+    entry.context = std::string(util::Trim(fields[2]));
+    entry.reason = std::string(util::Trim(fields[3]));
+    if (entry.rule.empty() || entry.file.empty()) {
+      throw std::invalid_argument("baseline line " +
+                                  std::to_string(line_no) +
+                                  ": empty rule or path");
+    }
+    if (entry.reason.empty()) {
+      throw std::invalid_argument(
+          "baseline line " + std::to_string(line_no) +
+          ": entries must carry a reason (" + entry.rule + " in " +
+          entry.file + ")");
+    }
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+std::string Baseline::Serialize() const {
+  std::string out =
+      "# rtmlint baseline: grandfathered findings. CI fails only on\n"
+      "# findings NOT listed here. Format (matched on rule + path +\n"
+      "# trimmed line text, so line numbers may drift freely):\n"
+      "#   <rule>|<path>|<trimmed source line>|<reason>\n";
+  for (const BaselineEntry& entry : entries) {
+    out += entry.rule;
+    out += '|';
+    out += entry.file;
+    out += '|';
+    out += entry.context;
+    out += '|';
+    out += entry.reason;
+    out += '\n';
+  }
+  return out;
+}
+
+BaselineMatchResult ApplyBaseline(std::vector<Finding> findings,
+                                  const Baseline& baseline) {
+  std::vector<bool> consumed(baseline.entries.size(), false);
+  for (Finding& finding : findings) {
+    if (finding.status == Finding::Status::kSuppressed) continue;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      const BaselineEntry& entry = baseline.entries[i];
+      if (consumed[i] || entry.rule != finding.rule ||
+          entry.file != finding.file || entry.context != finding.context) {
+        continue;
+      }
+      consumed[i] = true;
+      finding.status = Finding::Status::kBaselined;
+      finding.note = entry.reason;
+      break;
+    }
+  }
+  BaselineMatchResult result;
+  result.findings = std::move(findings);
+  for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+    if (!consumed[i]) result.stale.push_back(baseline.entries[i]);
+  }
+  return result;
+}
+
+Baseline MakeBaseline(const std::vector<Finding>& findings,
+                      const Baseline& previous,
+                      std::string_view default_reason) {
+  std::vector<bool> used(previous.entries.size(), false);
+  Baseline next;
+  for (const Finding& finding : findings) {
+    if (finding.status == Finding::Status::kSuppressed) continue;
+    BaselineEntry entry;
+    entry.rule = finding.rule;
+    entry.file = finding.file;
+    entry.context = finding.context;
+    entry.reason = std::string(default_reason);
+    for (std::size_t i = 0; i < previous.entries.size(); ++i) {
+      const BaselineEntry& old = previous.entries[i];
+      if (used[i] || old.rule != entry.rule || old.file != entry.file ||
+          old.context != entry.context) {
+        continue;
+      }
+      used[i] = true;
+      entry.reason = old.reason;
+      break;
+    }
+    next.entries.push_back(std::move(entry));
+  }
+  return next;
+}
+
+}  // namespace rtmp::rtmlint

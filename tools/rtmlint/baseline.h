@@ -1,0 +1,62 @@
+// Grandfathered-findings baseline.
+//
+// The committed tools/rtmlint/baseline.txt holds findings that predate a
+// rule (or are accepted for a stated reason): CI fails only on findings
+// NOT in the baseline, so a new rule can land before the whole tree is
+// clean. Entries match on (rule, file, trimmed line text) — not on line
+// numbers, so edits elsewhere in a file do not invalidate them — and
+// every entry carries a mandatory reason, same as inline NOLINTs.
+//
+// Line format (| separated, # comments):
+//   <rule>|<path>|<trimmed source line>|<reason>
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtmlint/rules.h"
+
+namespace rtmp::rtmlint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string context;  ///< trimmed source text of the finding's line
+  std::string reason;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  /// Parses baseline text. Throws std::invalid_argument on a malformed
+  /// line or an entry with an empty reason (reasons are mandatory).
+  [[nodiscard]] static Baseline Parse(std::string_view text);
+
+  /// Inverse of Parse (modulo comments), with a format header.
+  [[nodiscard]] std::string Serialize() const;
+};
+
+struct BaselineMatchResult {
+  /// The input findings, with Status::kBaselined and the entry's reason
+  /// stamped on every match. Matching is counted: two identical
+  /// findings need two identical entries.
+  std::vector<Finding> findings;
+  /// Entries that matched no finding — the violation was fixed (or the
+  /// line edited); reported so the baseline shrinks over time.
+  std::vector<BaselineEntry> stale;
+};
+
+/// Matches `findings` against `baseline` (see BaselineMatchResult).
+/// Suppressed findings never consume baseline entries.
+[[nodiscard]] BaselineMatchResult ApplyBaseline(std::vector<Finding> findings,
+                                                const Baseline& baseline);
+
+/// Builds a baseline covering every non-suppressed finding, carrying
+/// reasons forward from `previous` where the entry already existed and
+/// stamping `default_reason` on new ones.
+[[nodiscard]] Baseline MakeBaseline(
+    const std::vector<Finding>& findings, const Baseline& previous,
+    std::string_view default_reason = "TODO: justify or fix");
+
+}  // namespace rtmp::rtmlint

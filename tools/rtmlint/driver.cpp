@@ -1,0 +1,257 @@
+#include "rtmlint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace rtmp::rtmlint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool IsLintableFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+/// Normalizes to forward slashes so reports and baselines are identical
+/// across platforms.
+[[nodiscard]] std::string PortablePath(const fs::path& path) {
+  return path.generic_string();
+}
+
+/// True when `suppression` covers `finding`. The nolint-justification
+/// rule polices the suppression mechanism itself and cannot be
+/// suppressed away.
+[[nodiscard]] bool Covers(const Suppression& suppression,
+                          const Finding& finding) {
+  if (suppression.justification.empty()) return false;
+  if (finding.rule == "nolint-justification") return false;
+  if (suppression.line != finding.line) return false;
+  for (const std::string& rule : suppression.rules) {
+    if (rule == "*" || rule == finding.rule) return true;
+  }
+  return false;
+}
+
+void WriteFindingJson(util::JsonWriter& writer, const Finding& finding) {
+  writer.BeginObject();
+  writer.Member("file", finding.file);
+  writer.Member("line", finding.line);
+  writer.Member("rule", finding.rule);
+  writer.Member("severity", ToString(finding.severity));
+  writer.Member("message", finding.message);
+  writer.Member("context", finding.context);
+  writer.Member("status", ToString(finding.status));
+  writer.Member("note", finding.note);
+  writer.EndObject();
+}
+
+}  // namespace
+
+std::vector<Finding> LintSource(const SourceFile& file,
+                                const RuleRegistry& registry,
+                                std::span<const std::string> rules) {
+  std::vector<std::string> names;
+  if (rules.empty()) {
+    names = registry.Names();
+  } else {
+    names.assign(rules.begin(), rules.end());
+  }
+  std::vector<Finding> findings;
+  for (const std::string& name : names) {
+    const auto rule = registry.Find(name);
+    if (!rule) {
+      throw std::invalid_argument("rtmlint: unknown rule '" + name + "'");
+    }
+    rule->Check(file, &findings);
+  }
+  for (Finding& finding : findings) {
+    finding.context = file.LineText(finding.line);
+    for (const Suppression& suppression : file.suppressions) {
+      if (Covers(suppression, finding)) {
+        finding.status = Finding::Status::kSuppressed;
+        finding.note = suppression.justification;
+        break;
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<std::string> CollectFiles(std::span<const std::string> paths) {
+  std::vector<std::string> files;
+  for (const std::string& raw : paths) {
+    const fs::path path(raw);
+    if (fs::is_regular_file(path)) {
+      files.push_back(PortablePath(path));
+      continue;
+    }
+    if (!fs::is_directory(path)) {
+      throw std::invalid_argument("rtmlint: no such file or directory: " +
+                                  raw);
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file() && IsLintableFile(entry.path())) {
+        files.push_back(PortablePath(entry.path()));
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+SourceFile LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("rtmlint: cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SourceFile file = SourceFile::FromString(path, buffer.str());
+  if (!file.is_header) {
+    fs::path sibling(path);
+    sibling.replace_extension(".h");
+    if (fs::exists(sibling)) {
+      file.has_sibling_header = true;
+      file.sibling_header = sibling.filename().string();
+    }
+  }
+  return file;
+}
+
+std::size_t LintReport::CountWithStatus(Finding::Status status) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [status](const Finding& finding) {
+                      return finding.status == status;
+                    }));
+}
+
+bool LintReport::Clean() const {
+  return CountWithStatus(Finding::Status::kNew) == 0;
+}
+
+LintReport RunLint(const std::vector<SourceFile>& files,
+                   const RuleRegistry& registry, const Baseline& baseline,
+                   std::span<const std::string> rules) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    std::vector<Finding> file_findings = LintSource(file, registry, rules);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  BaselineMatchResult matched = ApplyBaseline(std::move(findings), baseline);
+  LintReport report;
+  report.findings = std::move(matched.findings);
+  report.stale_baseline = std::move(matched.stale);
+  report.files_scanned = files.size();
+  return report;
+}
+
+std::string FormatHuman(const LintReport& report) {
+  std::string out;
+  for (const Finding& finding : report.findings) {
+    if (finding.status != Finding::Status::kNew) continue;
+    out += finding.file + ":" + std::to_string(finding.line) + ": " +
+           ToString(finding.severity) + ": [" + finding.rule + "] " +
+           finding.message + "\n";
+    if (!finding.context.empty()) {
+      out += "    " + finding.context + "\n";
+    }
+  }
+  for (const BaselineEntry& entry : report.stale_baseline) {
+    out += "note: stale baseline entry (finding fixed? remove the line): " +
+           entry.rule + "|" + entry.file + "|" + entry.context + "\n";
+  }
+  out += "rtmlint: " + std::to_string(report.files_scanned) +
+         " files, " +
+         std::to_string(report.CountWithStatus(Finding::Status::kNew)) +
+         " new, " +
+         std::to_string(
+             report.CountWithStatus(Finding::Status::kBaselined)) +
+         " baselined, " +
+         std::to_string(
+             report.CountWithStatus(Finding::Status::kSuppressed)) +
+         " suppressed, " + std::to_string(report.stale_baseline.size()) +
+         " stale baseline entries\n";
+  return out;
+}
+
+std::string WriteJsonReport(const LintReport& report) {
+  std::string out;
+  util::JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.Member("tool", "rtmlint");
+  writer.Member("schema_version", 1);
+  writer.Member("files_scanned",
+                static_cast<std::uint64_t>(report.files_scanned));
+  writer.Key("counts");
+  writer.BeginObject();
+  writer.Member("new", static_cast<std::uint64_t>(report.CountWithStatus(
+                           Finding::Status::kNew)));
+  writer.Member("baselined",
+                static_cast<std::uint64_t>(
+                    report.CountWithStatus(Finding::Status::kBaselined)));
+  writer.Member("suppressed",
+                static_cast<std::uint64_t>(
+                    report.CountWithStatus(Finding::Status::kSuppressed)));
+  writer.Member("stale_baseline",
+                static_cast<std::uint64_t>(report.stale_baseline.size()));
+  writer.EndObject();
+  writer.Key("findings");
+  writer.BeginArray();
+  for (const Finding& finding : report.findings) {
+    WriteFindingJson(writer, finding);
+  }
+  writer.EndArray();
+  writer.Key("stale_baseline");
+  writer.BeginArray();
+  for (const BaselineEntry& entry : report.stale_baseline) {
+    writer.BeginObject();
+    writer.Member("rule", entry.rule);
+    writer.Member("file", entry.file);
+    writer.Member("context", entry.context);
+    writer.Member("reason", entry.reason);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  out += "\n";
+  return out;
+}
+
+std::string WriteRulesJson(const RuleRegistry& registry) {
+  std::string out;
+  util::JsonWriter writer(&out);
+  writer.BeginArray();
+  for (const std::string& name : registry.Names()) {
+    const auto info = registry.Describe(name);
+    if (!info) continue;
+    writer.BeginObject();
+    writer.Member("name", info->name);
+    writer.Member("category", info->category);
+    writer.Member("severity", ToString(info->severity));
+    writer.Member("summary", info->summary);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  out += "\n";
+  return out;
+}
+
+}  // namespace rtmp::rtmlint

@@ -1,0 +1,69 @@
+// rtmlint's findings pipeline: collect files, lex, run rules, apply
+// NOLINT suppressions and the baseline, format the results (human text
+// or --json via util::json).
+//
+// Everything here is pure over in-memory inputs except CollectFiles and
+// LoadFile, so tests drive the whole pipeline on snippet strings.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtmlint/baseline.h"
+#include "rtmlint/rules.h"
+
+namespace rtmp::rtmlint {
+
+/// Runs every rule in `registry` (or only `rules`, when non-empty) over
+/// one pre-lexed file, then applies the file's justified NOLINT
+/// suppressions and stamps Finding::context. Findings are sorted by
+/// (line, rule). Throws std::invalid_argument on an unknown rule name
+/// in `rules`.
+[[nodiscard]] std::vector<Finding> LintSource(
+    const SourceFile& file, const RuleRegistry& registry,
+    std::span<const std::string> rules = {});
+
+/// Recursively collects .h/.cpp files under each path (files are taken
+/// as-is), sorted and deduplicated so scan order — and therefore report
+/// order — is deterministic. Throws std::invalid_argument on a path
+/// that does not exist.
+[[nodiscard]] std::vector<std::string> CollectFiles(
+    std::span<const std::string> paths);
+
+/// Reads and lexes one file, detecting the sibling header for the
+/// include-hygiene rule. Throws std::runtime_error when unreadable.
+[[nodiscard]] SourceFile LoadFile(const std::string& path);
+
+/// One full run: everything the CLI prints or serializes.
+struct LintReport {
+  std::vector<Finding> findings;  ///< all statuses, sorted
+  std::vector<BaselineEntry> stale_baseline;
+  std::size_t files_scanned = 0;
+
+  [[nodiscard]] std::size_t CountWithStatus(Finding::Status status) const;
+
+  /// True when nothing fails the run: no findings with Status::kNew.
+  [[nodiscard]] bool Clean() const;
+};
+
+/// Lints every file through `registry` and applies `baseline`.
+[[nodiscard]] LintReport RunLint(const std::vector<SourceFile>& files,
+                                 const RuleRegistry& registry,
+                                 const Baseline& baseline,
+                                 std::span<const std::string> rules = {});
+
+/// Human-readable report: one "path:line: severity: [rule] message"
+/// line per new finding, stale-baseline warnings, and a summary line.
+[[nodiscard]] std::string FormatHuman(const LintReport& report);
+
+/// The whole report as a JSON document (schema_version 1), suppressed
+/// and baselined findings included with their status and note.
+[[nodiscard]] std::string WriteJsonReport(const LintReport& report);
+
+/// Rule listing as JSON: [{"name","category","severity","summary"}],
+/// sorted by name (the placement_explorer --json listing idiom).
+[[nodiscard]] std::string WriteRulesJson(const RuleRegistry& registry);
+
+}  // namespace rtmp::rtmlint

@@ -1,0 +1,386 @@
+#include "rtmlint/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace rtmp::rtmlint {
+
+namespace {
+
+[[nodiscard]] bool IsIdentStart(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool IsIdentChar(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool IsDigit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// True for the encoding prefixes that may precede a raw string literal.
+[[nodiscard]] bool IsRawStringPrefix(std::string_view ident) noexcept {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view source) : src_(source) {}
+
+  LexedSource Run() {
+    while (!AtEnd()) Step();
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ >= src_.size(); }
+
+  /// Consumes backslash-newline splices (translation phase 2). Splices
+  /// never apply inside raw strings; callers in that mode do not splice.
+  void SkipSplices() {
+    while (pos_ + 1 < src_.size() && src_[pos_] == '\\') {
+      std::size_t next = pos_ + 1;
+      if (src_[next] == '\r' && next + 1 < src_.size()) ++next;
+      if (src_[next] != '\n') return;
+      pos_ = next + 1;
+      ++line_;
+    }
+  }
+
+  /// Current character after splicing; '\0' at end of input.
+  [[nodiscard]] char Peek() {
+    SkipSplices();
+    return AtEnd() ? '\0' : src_[pos_];
+  }
+
+  [[nodiscard]] char PeekAt(std::size_t ahead) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      in_directive_ = false;
+      directive_.clear();
+    }
+    ++pos_;
+  }
+
+  void Emit(TokenKind kind, std::string text, int line) {
+    // The first identifier of a directive names it (#include, #pragma).
+    if (in_directive_ && directive_.empty() && !out_.tokens.empty() &&
+        kind == TokenKind::kIdentifier &&
+        out_.tokens.back().text == "#") {
+      directive_ = text;
+    }
+    out_.tokens.push_back(Token{kind, std::move(text), line, in_directive_});
+  }
+
+  void Step() {
+    const char c = Peek();
+    if (AtEnd()) return;
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      Advance();
+      return;
+    }
+    if (c == '/' && PeekAt(1) == '/') {
+      LineComment();
+      return;
+    }
+    if (c == '/' && PeekAt(1) == '*') {
+      BlockComment();
+      return;
+    }
+    if (c == '#') {
+      in_directive_ = true;
+      directive_.clear();
+      Emit(TokenKind::kPunct, "#", line_);
+      Advance();
+      return;
+    }
+    if (c == '<' && in_directive_ && directive_ == "include") {
+      HeaderName();
+      return;
+    }
+    if (c == '"') {
+      StringLiteral();
+      return;
+    }
+    if (c == '\'') {
+      CharLiteral();
+      return;
+    }
+    if (IsIdentStart(c)) {
+      Identifier();
+      return;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(PeekAt(1)))) {
+      Number();
+      return;
+    }
+    Punct();
+  }
+
+  void LineComment() {
+    const int start = line_;
+    std::string text;
+    Advance();
+    Advance();  // "//"
+    while (!AtEnd()) {
+      SkipSplices();  // a spliced line comment continues (phase order)
+      if (AtEnd() || src_[pos_] == '\n') break;
+      text.push_back(src_[pos_]);
+      Advance();
+    }
+    out_.comments.push_back(Comment{start, std::move(text)});
+  }
+
+  void BlockComment() {
+    const int start = line_;
+    std::string text;
+    Advance();
+    Advance();  // "/*"
+    while (!AtEnd()) {
+      if (src_[pos_] == '*' && PeekAt(1) == '/') {
+        Advance();
+        Advance();
+        break;
+      }
+      text.push_back(src_[pos_]);
+      Advance();
+    }
+    out_.comments.push_back(Comment{start, std::move(text)});
+  }
+
+  void HeaderName() {
+    const int start = line_;
+    std::string text;
+    Advance();  // '<'
+    while (!AtEnd() && src_[pos_] != '>' && src_[pos_] != '\n') {
+      text.push_back(src_[pos_]);
+      Advance();
+    }
+    if (!AtEnd() && src_[pos_] == '>') Advance();
+    Emit(TokenKind::kHeaderName, std::move(text), start);
+  }
+
+  void StringLiteral() {
+    const int start = line_;
+    std::string text;
+    Advance();  // opening quote
+    while (!AtEnd()) {
+      SkipSplices();
+      if (AtEnd()) break;
+      const char c = src_[pos_];
+      if (c == '"' || c == '\n') {
+        Advance();
+        break;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(c);
+        Advance();
+        text.push_back(src_[pos_]);
+        Advance();
+        continue;
+      }
+      text.push_back(c);
+      Advance();
+    }
+    Emit(TokenKind::kString, std::move(text), start);
+  }
+
+  /// Raw string, entered with pos_ at the opening quote after a raw
+  /// prefix. No splicing and no escapes inside (phase 1/2 are undone).
+  void RawString() {
+    const int start = line_;
+    Advance();  // opening quote
+    std::string delim;
+    while (!AtEnd() && src_[pos_] != '(' && delim.size() < 17) {
+      delim.push_back(src_[pos_]);
+      Advance();
+    }
+    if (!AtEnd() && src_[pos_] == '(') Advance();
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (!AtEnd()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t i = 0; i < closer.size(); ++i) Advance();
+        break;
+      }
+      text.push_back(src_[pos_]);
+      Advance();
+    }
+    Emit(TokenKind::kString, std::move(text), start);
+  }
+
+  void CharLiteral() {
+    const int start = line_;
+    std::string text;
+    Advance();  // opening quote
+    while (!AtEnd()) {
+      SkipSplices();
+      if (AtEnd()) break;
+      const char c = src_[pos_];
+      if (c == '\'' || c == '\n') {
+        Advance();
+        break;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(c);
+        Advance();
+        text.push_back(src_[pos_]);
+        Advance();
+        continue;
+      }
+      text.push_back(c);
+      Advance();
+    }
+    Emit(TokenKind::kCharLiteral, std::move(text), start);
+  }
+
+  void Identifier() {
+    const int start = line_;
+    std::string text;
+    while (!AtEnd()) {
+      SkipSplices();
+      if (AtEnd() || !IsIdentChar(src_[pos_])) break;
+      text.push_back(src_[pos_]);
+      Advance();
+    }
+    // `R"(...)"` and friends: the prefix is adjacent to the quote.
+    if (IsRawStringPrefix(text) && !AtEnd() && src_[pos_] == '"') {
+      RawString();
+      return;
+    }
+    // Ordinary prefixed strings/chars (u8"x", L'c') — drop the prefix
+    // token and lex the literal itself.
+    if ((text == "u8" || text == "u" || text == "U" || text == "L") &&
+        !AtEnd() && (src_[pos_] == '"' || src_[pos_] == '\'')) {
+      if (src_[pos_] == '"') {
+        StringLiteral();
+      } else {
+        CharLiteral();
+      }
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), start);
+  }
+
+  void Number() {
+    const int start = line_;
+    std::string text;
+    while (!AtEnd()) {
+      SkipSplices();
+      if (AtEnd()) break;
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        text.push_back(c);
+        Advance();
+        // Exponent signs: 1e+3, 0x1p-4.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && !AtEnd() &&
+            (src_[pos_] == '+' || src_[pos_] == '-')) {
+          text.push_back(src_[pos_]);
+          Advance();
+        }
+        continue;
+      }
+      // Digit separator: apostrophe between digits (1'000'000).
+      if (c == '\'' && IsIdentChar(PeekAt(1))) {
+        text.push_back(c);
+        Advance();
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(text), start);
+  }
+
+  void Punct() {
+    const int start = line_;
+    const char c = src_[pos_];
+    // Multi-char tokens rules care about: qualified names and member
+    // access. Everything else (including << and >>) stays single-char
+    // so template-argument depth counting works on < and >.
+    if (c == ':' && PeekAt(1) == ':') {
+      Advance();
+      Advance();
+      Emit(TokenKind::kPunct, "::", start);
+      return;
+    }
+    if (c == '-' && PeekAt(1) == '>') {
+      Advance();
+      Advance();
+      Emit(TokenKind::kPunct, "->", start);
+      return;
+    }
+    Advance();
+    Emit(TokenKind::kPunct, std::string(1, c), start);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool in_directive_ = false;
+  std::string directive_;
+  LexedSource out_;
+};
+
+/// Parses the parenthesized rule list and trailing justification of one
+/// NOLINT marker starting at `marker_pos` in `text`. Returns false when
+/// the marker carries no rtmlint-prefixed rule.
+bool ParseMarker(std::string_view text, std::size_t marker_pos,
+                 std::size_t marker_len, Suppression* out) {
+  std::size_t pos = marker_pos + marker_len;
+  if (pos >= text.size() || text[pos] != '(') return false;
+  const std::size_t close = text.find(')', pos);
+  if (close == std::string_view::npos) return false;
+  const std::string_view list = text.substr(pos + 1, close - pos - 1);
+  bool any_rtmlint = false;
+  for (const std::string& item : util::Split(std::string(list), ',')) {
+    const std::string_view trimmed = util::Trim(item);
+    if (!util::StartsWith(trimmed, "rtmlint:")) continue;
+    any_rtmlint = true;
+    const std::string_view rule =
+        util::Trim(trimmed.substr(std::string_view("rtmlint:").size()));
+    if (!rule.empty()) out->rules.emplace_back(rule);
+  }
+  if (!any_rtmlint) return false;
+  // Justification: whatever follows the closing paren, minus leading
+  // separator punctuation.
+  std::string_view rest = text.substr(close + 1);
+  while (!rest.empty() && (rest.front() == ':' || rest.front() == '-' ||
+                           rest.front() == ' ' || rest.front() == '\t')) {
+    rest.remove_prefix(1);
+  }
+  out->justification = std::string(util::Trim(rest));
+  return true;
+}
+
+}  // namespace
+
+LexedSource Lex(std::string_view source) { return Scanner(source).Run(); }
+
+std::vector<Suppression> ExtractSuppressions(
+    const std::vector<Comment>& comments) {
+  constexpr std::string_view kNextLine = "NOLINTNEXTLINE";
+  constexpr std::string_view kSameLine = "NOLINT";
+  std::vector<Suppression> out;
+  for (const Comment& comment : comments) {
+    const std::string_view text = comment.text;
+    const std::size_t pos = text.find(kSameLine);
+    if (pos == std::string_view::npos) continue;
+    const bool next_line =
+        text.compare(pos, kNextLine.size(), kNextLine) == 0;
+    Suppression s;
+    s.line = next_line ? comment.line + 1 : comment.line;
+    const std::size_t len = next_line ? kNextLine.size() : kSameLine.size();
+    if (ParseMarker(text, pos, len, &s)) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace rtmp::rtmlint

@@ -1,0 +1,85 @@
+// rtmlint's C++ token scanner.
+//
+// rtmlint cannot depend on libclang (the CI container cannot install
+// clang tooling — the clang-format precedent from PR 3), so its rules
+// work on a token stream produced by this hand-rolled scanner. The
+// scanner is NOT a full C++ lexer; it is exactly accurate about the
+// things lint rules get wrong when they grep instead:
+//
+//  * comments (line and block) never produce tokens — rule text inside
+//    a comment ("uses std::mt19937" in prose) cannot fire a rule;
+//  * string literals — including raw strings with custom delimiters
+//    (R"x(...)x") and encoding prefixes (u8R"...") — become single
+//    kString tokens whose contents rules ignore;
+//  * char literals and digit separators (1'000'000) do not confuse the
+//    apostrophe handling;
+//  * line continuations (backslash-newline) are spliced, and line
+//    numbers stay correct across them, comments and raw strings.
+//
+// Preprocessor directives are tokenized like code but flagged
+// (Token::preprocessor), and `#include <...>` header names come out as
+// one kHeaderName token so the include-hygiene rule can read them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtmp::rtmlint {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  ///< identifiers and keywords
+  kNumber,      ///< pp-numbers, digit separators included
+  kString,      ///< ordinary and raw string literals (contents)
+  kCharLiteral,
+  kHeaderName,  ///< the <...> operand of an #include directive
+  kPunct,       ///< everything else; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;
+  /// True when the token belongs to a preprocessor directive.
+  bool preprocessor = false;
+};
+
+/// One comment, with the line it starts on. Text excludes the // or
+/// /* */ markers.
+struct Comment {
+  int line = 1;
+  std::string text;
+};
+
+/// A parsed `// NOLINT(rtmlint:rule,...)` / `NOLINTNEXTLINE` marker.
+/// Markers without any `rtmlint:`-prefixed rule are other tools'
+/// business (clang-tidy) and are not extracted.
+struct Suppression {
+  /// The source line the suppression covers (the comment's own line for
+  /// NOLINT, the following line for NOLINTNEXTLINE).
+  int line = 1;
+  /// Suppressed rule names, `rtmlint:` prefix stripped; "*" suppresses
+  /// every rule.
+  std::vector<std::string> rules;
+  /// The mandatory free-text reason after the closing paren. Empty
+  /// justifications do not suppress anything and are themselves a
+  /// finding (the nolint-justification rule).
+  std::string justification;
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Scans `source` into tokens and comments (see file comment for the
+/// guarantees). Never throws on malformed input: unterminated literals
+/// and comments end at end-of-file.
+[[nodiscard]] LexedSource Lex(std::string_view source);
+
+/// Extracts NOLINT / NOLINTNEXTLINE markers from scanned comments.
+[[nodiscard]] std::vector<Suppression> ExtractSuppressions(
+    const std::vector<Comment>& comments);
+
+}  // namespace rtmp::rtmlint

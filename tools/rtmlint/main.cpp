@@ -1,0 +1,170 @@
+// rtmlint — the project-invariant static analyzer (see README.md
+// "Static analysis").
+//
+//   $ rtmlint check src bench tests examples tools
+//         --baseline tools/rtmlint/baseline.txt [--json report.json]
+//   $ rtmlint check src --rule determinism-rng
+//   $ rtmlint check src --write-baseline   # grandfather current findings
+//   $ rtmlint list-rules [--json rules.json]
+//
+// Exit codes: 0 clean (new findings: none), 1 new findings, 2 usage or
+// I/O error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rtmlint/baseline.h"
+#include "rtmlint/driver.h"
+#include "rtmlint/rules.h"
+
+namespace {
+
+using namespace rtmp;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rtmlint check <path>... [--baseline <file>] [--write-baseline]\n"
+      "                          [--json <file>] [--rule <name>]...\n"
+      "  rtmlint list-rules [--json <file>]\n"
+      "\nPaths are files or directories (recursed for .h/.cpp).\n"
+      "Suppress a finding inline with a justified\n"
+      "  // NOLINT(rtmlint:<rule>): <why this is safe>\n"
+      "or grandfather it in the baseline file (see tools/rtmlint/\n"
+      "baseline.txt). Exit 0 = clean, 1 = new findings, 2 = error.\n"
+      "\nrules:\n");
+  const auto& registry = rtmlint::RuleRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const auto info = registry.Describe(name);
+    std::fprintf(stderr, "  %-22s %s\n", name.c_str(),
+                 info ? info->summary.c_str() : "");
+  }
+  return 2;
+}
+
+[[nodiscard]] std::string ReadFileOrThrow(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("rtmlint: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileOrThrow(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("rtmlint: cannot write " + path);
+  out << text;
+  if (!out) throw std::runtime_error("rtmlint: short write to " + path);
+}
+
+int ListRules(const std::vector<std::string>& args) {
+  std::string json_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else {
+      return Usage();
+    }
+  }
+  const auto& registry = rtmlint::RuleRegistry::Global();
+  if (!json_path.empty()) {
+    WriteFileOrThrow(json_path, rtmlint::WriteRulesJson(registry));
+  }
+  for (const std::string& name : registry.Names()) {
+    const auto info = registry.Describe(name);
+    if (!info) continue;
+    std::printf("%-22s %-13s %-8s %s\n", info->name.c_str(),
+                info->category.c_str(),
+                rtmlint::ToString(info->severity), info->summary.c_str());
+  }
+  return 0;
+}
+
+int Check(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  std::vector<std::string> rules;
+  std::string baseline_path;
+  std::string json_path;
+  bool write_baseline = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--baseline" && i + 1 < args.size()) {
+      baseline_path = args[++i];
+    } else if (arg == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else if (arg == "--rule" && i + 1 < args.size()) {
+      rules.push_back(args[++i]);
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  rtmlint::Baseline baseline;
+  if (!baseline_path.empty()) {
+    // A missing file is fine when we are about to create it.
+    const bool exists = std::ifstream(baseline_path).good();
+    if (exists) {
+      baseline = rtmlint::Baseline::Parse(ReadFileOrThrow(baseline_path));
+    } else if (!write_baseline) {
+      throw std::runtime_error("rtmlint: cannot read " + baseline_path);
+    }
+  }
+
+  std::vector<rtmlint::SourceFile> files;
+  for (const std::string& path : rtmlint::CollectFiles(paths)) {
+    files.push_back(rtmlint::LoadFile(path));
+  }
+
+  const rtmlint::LintReport report = rtmlint::RunLint(
+      files, rtmlint::RuleRegistry::Global(), baseline, rules);
+
+  if (write_baseline) {
+    if (baseline_path.empty()) {
+      std::fprintf(stderr,
+                   "rtmlint: --write-baseline needs --baseline <file>\n");
+      return 2;
+    }
+    const rtmlint::Baseline next =
+        rtmlint::MakeBaseline(report.findings, baseline);
+    WriteFileOrThrow(baseline_path, next.Serialize());
+    std::printf("rtmlint: wrote %zu baseline entries to %s\n",
+                next.entries.size(), baseline_path.c_str());
+    return 0;
+  }
+
+  if (!json_path.empty()) {
+    WriteFileOrThrow(json_path, rtmlint::WriteJsonReport(report));
+  }
+  std::fputs(rtmlint::FormatHuman(report).c_str(), stdout);
+  return report.Clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string command = args.front();
+  args.erase(args.begin());
+  try {
+    if (command == "check") return Check(args);
+    if (command == "list-rules") return ListRules(args);
+    if (command == "--help" || command == "help") {
+      Usage();
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "rtmlint: %s\n", error.what());
+    return 2;
+  }
+  return Usage();
+}

@@ -1,0 +1,172 @@
+// rtmlint's rule layer: findings, the Rule interface and the name-keyed
+// RuleRegistry.
+//
+// The registry mirrors core::StrategyRegistry (sorted flat vector,
+// lowercase-normalized keys, lazy construction, explicit
+// RegisterBuiltinRules for the Global() instance) and reuses
+// core::RegistryNamespace for collision arbitration: every rule name is
+// claimed under its category, so a rule name landing in two different
+// categories fails fast with the same semantics the experiment engine's
+// cell-name space has — second registrant throws, re-claim under the
+// same category is a no-op (the duplicate is then caught by the
+// registry's own key check).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/registry_namespace.h"
+#include "rtmlint/lexer.h"
+
+namespace rtmp::rtmlint {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+/// "warning" / "error".
+[[nodiscard]] const char* ToString(Severity severity) noexcept;
+
+/// Inverse of ToString; throws std::invalid_argument on unknown text.
+[[nodiscard]] Severity ParseSeverity(std::string_view text);
+
+/// One lint finding. `context` is the trimmed source text of `line`:
+/// baselines match on it instead of on line numbers, so unrelated edits
+/// above a grandfathered finding do not invalidate the baseline.
+struct Finding {
+  enum class Status : std::uint8_t {
+    kNew,         ///< fails the run
+    kSuppressed,  ///< matched a justified NOLINT
+    kBaselined,   ///< matched a baseline entry
+  };
+
+  std::string file;
+  int line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+  std::string context;
+  Status status = Status::kNew;
+  /// NOLINT justification or baseline reason once matched.
+  std::string note;
+};
+
+/// "new" / "suppressed" / "baselined".
+[[nodiscard]] const char* ToString(Finding::Status status) noexcept;
+
+/// One scanned file, pre-lexed, plus the file-system facts rules need
+/// (tests build these from in-memory snippets via FromString).
+struct SourceFile {
+  std::string path;  ///< forward-slash path as given on the command line
+  bool is_header = false;
+  /// Set when a same-directory header with the .cpp's basename exists;
+  /// the include-hygiene rule then requires it to be the first include.
+  bool has_sibling_header = false;
+  std::string sibling_header;  ///< basename, e.g. "lexer.h"
+  std::vector<std::string> lines;
+  LexedSource lex;
+  std::vector<Suppression> suppressions;
+
+  /// Builds a SourceFile from an in-memory buffer. Sibling-header
+  /// detection needs the file system and stays in the driver's loader;
+  /// tests set has_sibling_header/sibling_header directly.
+  [[nodiscard]] static SourceFile FromString(std::string path,
+                                             std::string_view content);
+
+  /// Trimmed text of 1-based `line`; "" when out of range.
+  [[nodiscard]] std::string LineText(int line) const;
+};
+
+struct RuleInfo {
+  /// Registry key: lowercase, unique ("determinism-rng", ...).
+  std::string name;
+  /// Collision-arbitration kind ("determinism", "hygiene", ...).
+  std::string category;
+  Severity severity = Severity::kError;
+  /// One-line human-readable description for list-rules output.
+  std::string summary;
+};
+
+/// One lint rule. Implementations must be stateless: the driver may
+/// check many files through one instance.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  [[nodiscard]] virtual const RuleInfo& Describe() const noexcept = 0;
+
+  /// Appends this rule's findings for `file` to `out`. Implementations
+  /// fill file/line/rule/severity/message; the driver stamps context,
+  /// suppressions and baseline status afterwards.
+  virtual void Check(const SourceFile& file,
+                     std::vector<Finding>* out) const = 0;
+};
+
+/// Name -> factory registry for lint rules; see file comment. All
+/// members are thread-safe.
+class RuleRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<const Rule>()>;
+
+  RuleRegistry() = default;
+  RuleRegistry(const RuleRegistry&) = delete;
+  RuleRegistry& operator=(const RuleRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-in rules.
+  [[nodiscard]] static RuleRegistry& Global();
+
+  /// Registers `factory` under `name` (normalized to lowercase),
+  /// claiming the name under `category`. Throws std::invalid_argument
+  /// if the name is empty, contains whitespace, is already registered,
+  /// or is claimed by a different category.
+  void Register(std::string name, std::string_view category,
+                Factory factory);
+
+  /// The rule registered under `name`; nullptr if unknown.
+  [[nodiscard]] std::shared_ptr<const Rule> Find(
+      std::string_view name) const;
+
+  /// Metadata of the rule registered under `name`; nullopt if unknown.
+  [[nodiscard]] std::optional<RuleInfo> Describe(
+      std::string_view name) const;
+
+  [[nodiscard]] bool Contains(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    mutable std::shared_ptr<const Rule> instance;  ///< lazy, under mutex_
+  };
+
+  [[nodiscard]] const Entry* FindEntry(const std::string& key) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // sorted by key
+  /// Per-registry name arbitration (RegistryNamespace semantics).
+  core::RegistryNamespace names_;
+};
+
+/// Registers the built-in rules into `registry`: determinism-rng,
+/// unordered-iteration, registry-discipline, naked-new, include-hygiene
+/// and nolint-justification. Global() calls this once; tests use it to
+/// build fresh registries.
+void RegisterBuiltinRules(RuleRegistry& registry);
+
+/// RAII self-registration into the Global() registry, for rules defined
+/// outside rtmlint itself (mirrors core::StrategyRegistrar, including
+/// its static-library caveat: keep registrars in a TU that is otherwise
+/// linked in).
+struct RuleRegistrar {
+  RuleRegistrar(std::string name, std::string_view category,
+                RuleRegistry::Factory factory);
+};
+
+}  // namespace rtmp::rtmlint
