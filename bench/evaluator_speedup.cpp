@@ -1,194 +1,5 @@
-// Full vs incremental shift-cost evaluation throughput (CostEvaluator).
-//
-// Reproduces the GA's inner question on every OffsetStone-lite benchmark:
-// "what would this mutation cost?". Start from a realistic individual
-// (DMA-SR), draw mutations with the GA's move/transpose/permute weights,
-// and score each candidate
-//   * the pre-evaluator way: copy the placement, mutate, ShiftCost replay;
-//   * the incremental way: CostEvaluator::Peek* — read-only trial scoring
-//     over the per-DBC transition weights (commit would be Apply*+Undo).
-// Both sides score the SAME mutation stream (re-seeded RNG) under the
-// paper's single-port cost model, and every score is cross-checked for
-// exact equality. Prints per-benchmark throughput and the geomean
-// speedup; the acceptance bar for the evaluator subsystem is >= 5x.
-#include <chrono>
-#include <cstdio>
-#include <vector>
+// Thin alias of `rtmbench run throughput` (which absorbed this binary's
+// mutation-scoring comparison; see bench/harness/scenarios/throughput.cpp).
+#include "harness/scenario.h"
 
-#include "core/cost_evaluator.h"
-#include "core/cost_model.h"
-#include "core/inter_dma.h"
-#include "core/intra_heuristics.h"
-#include "core/placement.h"
-#include "offsetstone/suite.h"
-#include "util/rng.h"
-#include "util/stats.h"
-
-namespace {
-
-using namespace rtmp;
-
-constexpr std::uint32_t kDbcs = 8;
-constexpr int kFullTrials = 400;
-constexpr int kIncrementalTrials = 4000;
-
-struct Mutation {
-  enum class Kind { kMove, kTranspose, kPermute } kind;
-  trace::VariableId v = 0;
-  std::uint32_t dbc = 0;
-  std::size_t i = 0, j = 0;
-  std::vector<trace::VariableId> order;
-};
-
-/// Draws one GA-style mutation (weights 10:10:3) against `base`.
-Mutation DrawMutation(const core::Placement& base, util::Rng& rng) {
-  const double weights[] = {10.0, 10.0, 3.0};
-  Mutation m;
-  switch (rng.NextWeighted(weights)) {
-    case 0: {
-      m.kind = Mutation::Kind::kMove;
-      m.v = static_cast<trace::VariableId>(
-          rng.NextBelow(base.num_variables()));
-      m.dbc = static_cast<std::uint32_t>(rng.NextBelow(base.num_dbcs()));
-      return m;
-    }
-    case 1: {
-      m.kind = Mutation::Kind::kTranspose;
-      std::vector<std::uint32_t> candidates;
-      for (std::uint32_t d = 0; d < base.num_dbcs(); ++d) {
-        if (base.dbc(d).size() >= 2) candidates.push_back(d);
-      }
-      if (candidates.empty()) {
-        m.kind = Mutation::Kind::kMove;
-        m.v = 0;
-        m.dbc = 0;
-        return m;
-      }
-      m.dbc = rng.Pick(candidates);
-      const std::size_t size = base.dbc(m.dbc).size();
-      m.i = static_cast<std::size_t>(rng.NextBelow(size));
-      m.j = static_cast<std::size_t>(rng.NextBelow(size));
-      return m;
-    }
-    default: {
-      m.kind = Mutation::Kind::kPermute;
-      m.dbc = static_cast<std::uint32_t>(rng.NextBelow(base.num_dbcs()));
-      m.order = base.dbc(m.dbc);
-      rng.Shuffle(m.order);
-      return m;
-    }
-  }
-}
-
-std::uint64_t ScoreFull(const trace::AccessSequence& seq,
-                        const core::Placement& base, const Mutation& m,
-                        const core::CostOptions& cost) {
-  core::Placement candidate = base;
-  switch (m.kind) {
-    case Mutation::Kind::kMove:
-      candidate.MoveToEnd(m.v, m.dbc);
-      break;
-    case Mutation::Kind::kTranspose:
-      candidate.Transpose(m.dbc, m.i, m.j);
-      break;
-    case Mutation::Kind::kPermute:
-      candidate.Reorder(m.dbc, m.order);
-      break;
-  }
-  return core::ShiftCost(seq, candidate, cost);
-}
-
-std::uint64_t ScoreIncremental(core::CostEvaluator& evaluator,
-                               const Mutation& m) {
-  switch (m.kind) {
-    case Mutation::Kind::kMove:
-      return evaluator.PeekMove(m.v, m.dbc);
-    case Mutation::Kind::kTranspose:
-      return evaluator.PeekTranspose(m.dbc, m.i, m.j);
-    case Mutation::Kind::kPermute:
-      return evaluator.PeekReorder(m.dbc, m.order);
-  }
-  return 0;
-}
-
-// This whole binary measures throughput (mutations scored per second);
-// its wall-clock reads are the measurement, not a determinism leak.
-// NOLINTNEXTLINE(rtmlint:determinism-rng): throughput bench timing.
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  // NOLINTNEXTLINE(rtmlint:determinism-rng): throughput bench timing.
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
-
-int main() {
-  std::printf("CostEvaluator: GA mutation scoring, full replay vs "
-              "incremental (single port, %u DBCs)\n\n",
-              kDbcs);
-  std::printf("%-12s %8s %6s %14s %14s %9s\n", "benchmark", "|S|", "vars",
-              "full evals/s", "incr evals/s", "speedup");
-
-  std::vector<double> speedups;
-  bool all_match = true;
-  std::uint64_t sink = 0;
-  for (const auto& profile : offsetstone::SuiteProfiles()) {
-    const auto benchmark = offsetstone::Generate(profile, 0);
-    // Largest sequence of the benchmark: the GA's worst case.
-    const trace::AccessSequence* seq = &benchmark.sequences.front();
-    for (const auto& candidate : benchmark.sequences) {
-      if (candidate.size() > seq->size()) seq = &candidate;
-    }
-    if (seq->num_variables() < 2 || seq->empty()) continue;
-
-    const core::CostOptions cost;
-    const core::Placement base =
-        core::DistributeDma(*seq, kDbcs, core::kUnboundedCapacity,
-                            {core::IntraHeuristic::kShiftsReduce})
-            .placement;
-
-    // -- full replay path --------------------------------------------------
-    util::Rng full_rng(0xBEEF);
-    // NOLINTNEXTLINE(rtmlint:determinism-rng): throughput bench timing.
-    const auto full_start = std::chrono::steady_clock::now();
-    for (int t = 0; t < kFullTrials; ++t) {
-      sink += ScoreFull(*seq, base, DrawMutation(base, full_rng), cost);
-    }
-    const double full_rate = kFullTrials / SecondsSince(full_start);
-
-    // -- incremental path --------------------------------------------------
-    core::CostEvaluator evaluator(*seq, cost);
-    evaluator.Bind(base);
-    util::Rng incr_rng(0xBEEF);
-    // NOLINTNEXTLINE(rtmlint:determinism-rng): throughput bench timing.
-    const auto incr_start = std::chrono::steady_clock::now();
-    for (int t = 0; t < kIncrementalTrials; ++t) {
-      sink += ScoreIncremental(evaluator, DrawMutation(base, incr_rng));
-    }
-    const double incr_rate = kIncrementalTrials / SecondsSince(incr_start);
-
-    // -- cross-check: every score of a common stream must agree exactly ---
-    util::Rng check_rng(0x5EED);
-    bool match = true;
-    for (int t = 0; t < kFullTrials && match; ++t) {
-      const Mutation m = DrawMutation(base, check_rng);
-      match = ScoreFull(*seq, base, m, cost) == ScoreIncremental(evaluator, m);
-    }
-    all_match = all_match && match;
-
-    const double speedup = incr_rate / full_rate;
-    speedups.push_back(speedup);
-    std::printf("%-12s %8zu %6zu %14.0f %14.0f %8.1fx%s\n",
-                benchmark.name.c_str(), seq->size(), seq->num_variables(),
-                full_rate, incr_rate, speedup,
-                match ? "" : "  COST MISMATCH");
-  }
-
-  std::printf("\ngeomean speedup: %.1fx (acceptance: >= 5x); costs %s "
-              "(sink %llx)\n",
-              util::GeoMean(speedups),
-              all_match ? "bit-identical" : "MISMATCHED",
-              static_cast<unsigned long long>(sink));
-  return all_match ? 0 : 1;
-}
+int main() { return rtmp::benchtool::RunLegacyAlias("throughput"); }

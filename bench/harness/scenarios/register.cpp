@@ -9,6 +9,7 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   scenarios::RegisterWorkloadsSmoke(registry);
   scenarios::RegisterFigOnline(registry);
   scenarios::RegisterFigMultitenant(registry);
+  scenarios::RegisterThroughput(registry);
   scenarios::RegisterTable1DeviceParams(registry);
   scenarios::RegisterFig3Example(registry);
   scenarios::RegisterFig4Shifts(registry);

@@ -1,8 +1,11 @@
+// rtmlint: hot-path — mutation scoring runs millions of Price* calls per
+// second; allocations here are advisory findings (see hot-path-alloc).
 #include "core/cost_evaluator.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <span>
 #include <stdexcept>
 
 namespace rtmp::core {
@@ -91,11 +94,23 @@ CostEvaluator::CostEvaluator(const trace::AccessSequence& seq,
   first_pays_ = options_.initial_alignment == rtm::InitialAlignment::kZero;
   port_ = static_cast<std::int64_t>(options_.port_offsets.front());
   var_of_.reserve(seq.size());
-  var_positions_.resize(seq.num_variables());
   for (std::uint32_t t = 0; t < seq.size(); ++t) {
-    const VariableId v = seq[t].variable;
-    var_of_.push_back(v);
-    var_positions_[v].push_back(t);
+    var_of_.push_back(seq[t].variable);
+  }
+  // CSR position table via counting sort: one contiguous arena, grouped
+  // by variable, ascending within each group (Append order).
+  pos_begin_.assign(seq.num_variables() + 1, 0);
+  for (const VariableId v : var_of_) ++pos_begin_[v + 1];
+  for (std::size_t v = 1; v < pos_begin_.size(); ++v) {
+    pos_begin_[v] += pos_begin_[v - 1];
+  }
+  pos_data_.resize(seq.size());
+  {
+    std::vector<std::uint32_t> cursor(pos_begin_.begin(),
+                                      pos_begin_.end() - 1);
+    for (std::uint32_t t = 0; t < seq.size(); ++t) {
+      pos_data_[cursor[var_of_[t]]++] = t;
+    }
   }
   prev_.assign(seq.size(), kNoPosition);
   next_.assign(seq.size(), kNoPosition);
@@ -122,21 +137,20 @@ void CostEvaluator::AssertMatchesShiftCost() const {
 
 // ---- transition weights ----------------------------------------------------
 
-CostEvaluator::Edge& CostEvaluator::EdgeFor(DbcData& data,
-                                            std::uint64_t key) {
+std::uint32_t CostEvaluator::EdgeFor(DbcData& data, std::uint64_t key) {
   const std::uint32_t slot = data.edge_index.FindOrInsert(
       key, static_cast<std::uint32_t>(data.edges.size()));
   if (slot == data.edges.size()) {
-    data.edges.push_back(Edge{key, 0});
+    if (data.edges.Append(key, 0)) ++arena_growths_;
     ++data.dead;  // born a tombstone until a weight write revives it
   }
-  return data.edges[slot];
+  return slot;
 }
 
-void CostEvaluator::SetEdgeWeight(DbcData& data, Edge& edge,
+void CostEvaluator::SetEdgeWeight(DbcData& data, std::uint32_t slot,
                                   std::uint64_t weight) {
-  const bool was_dead = edge.weight == 0;
-  edge.weight = weight;
+  const bool was_dead = data.edges.weights[slot] == 0;
+  data.edges.weights[slot] = weight;
   const bool is_dead = weight == 0;
   if (was_dead && !is_dead) {
     --data.dead;
@@ -149,17 +163,18 @@ void CostEvaluator::AddWeight(std::uint32_t dbc, VariableId u, VariableId v,
                               std::int64_t delta) {
   DbcData& data = dbcs_[dbc];
   const std::uint64_t key = PackPair(u, v);
-  Edge& edge = EdgeFor(data, key);
-  if (log_weights_) weight_log_.push_back({dbc, key, edge.weight});
-  SetEdgeWeight(data, edge,
+  const std::uint32_t slot = EdgeFor(data, key);
+  const std::uint64_t old_weight = data.edges.weights[slot];
+  if (log_weights_) weight_log_.push_back({dbc, key, old_weight});
+  SetEdgeWeight(data, slot,
                 static_cast<std::uint64_t>(
-                    static_cast<std::int64_t>(edge.weight) + delta));
+                    static_cast<std::int64_t>(old_weight) + delta));
 }
 
 void CostEvaluator::SpliceOutAll(std::uint32_t dbc, VariableId v,
                                  bool save_links, bool update_weights) {
   DbcData& data = dbcs_[dbc];
-  for (const std::uint32_t t : var_positions_[v]) {
+  for (const std::uint32_t t : PositionsOf(v)) {
     const std::uint32_t p = prev_[t];
     const std::uint32_t n = next_[t];
     if (save_links) links_arena_.emplace_back(p, n);
@@ -173,7 +188,7 @@ void CostEvaluator::SpliceOutAll(std::uint32_t dbc, VariableId v,
     if (p != kNoPosition) next_[p] = n; else data.head = n;
     if (n != kNoPosition) prev_[n] = p; else data.tail = p;
   }
-  data.count -= var_positions_[v].size();
+  data.count -= FreqOf(v);
 }
 
 void CostEvaluator::SpliceInAll(std::uint32_t dbc, VariableId v,
@@ -183,7 +198,7 @@ void CostEvaluator::SpliceInAll(std::uint32_t dbc, VariableId v,
   // cursor never backs up, so the whole batch costs one chain walk.
   std::uint32_t after = kNoPosition;   // last chain node with position < t
   std::uint32_t before = data.head;    // first chain node with position > t
-  for (const std::uint32_t t : var_positions_[v]) {
+  for (const std::uint32_t t : PositionsOf(v)) {
     while (before != kNoPosition && before < t) {
       after = before;
       before = next_[before];
@@ -201,7 +216,7 @@ void CostEvaluator::SpliceInAll(std::uint32_t dbc, VariableId v,
     if (before != kNoPosition) prev_[before] = t; else data.tail = t;
     after = t;
   }
-  data.count += var_positions_[v].size();
+  data.count += FreqOf(v);
 }
 
 void CostEvaluator::RebuildDbcWeights(std::uint32_t dbc) {
@@ -233,7 +248,7 @@ void CostEvaluator::RebuildDbcWeights(std::uint32_t dbc) {
         const std::uint64_t key = PackPair(members[i], members[j]);
         (void)data.edge_index.FindOrInsert(
             key, static_cast<std::uint32_t>(data.edges.size()));
-        data.edges.push_back(Edge{key, weight});
+        if (data.edges.Append(key, weight)) ++arena_growths_;
       }
     }
     return;
@@ -249,20 +264,20 @@ void CostEvaluator::RebuildDbcWeights(std::uint32_t dbc) {
 }
 
 void CostEvaluator::UnlinkAll(DbcData& data, VariableId v) {
-  for (const std::uint32_t t : var_positions_[v]) {
+  for (const std::uint32_t t : PositionsOf(v)) {
     const std::uint32_t p = prev_[t];
     const std::uint32_t n = next_[t];
     if (p != kNoPosition) next_[p] = n; else data.head = n;
     if (n != kNoPosition) prev_[n] = p; else data.tail = p;
   }
-  data.count -= var_positions_[v].size();
+  data.count -= FreqOf(v);
 }
 
 void CostEvaluator::RelinkAll(DbcData& data, VariableId v,
                               std::size_t links_begin) {
   // Exact inverse of SpliceOutAll's link surgery: relink in reverse order
   // so each occurrence finds the neighbors its saved pair names in place.
-  const auto& positions = var_positions_[v];
+  const std::span<const std::uint32_t> positions = PositionsOf(v);
   for (std::size_t i = positions.size(); i-- > 0;) {
     const std::uint32_t t = positions[i];
     const auto [p, n] = links_arena_[links_begin + i];
@@ -271,41 +286,44 @@ void CostEvaluator::RelinkAll(DbcData& data, VariableId v,
     if (p != kNoPosition) next_[p] = t; else data.head = t;
     if (n != kNoPosition) prev_[n] = t; else data.tail = t;
   }
-  data.count += var_positions_[v].size();
+  data.count += FreqOf(v);
 }
 
 void CostEvaluator::RepriceDbc(std::uint32_t d) {
   DbcData& data = dbcs_[d];
   // Compact when tombstones outnumber live edges (amortized O(1)). Safe
-  // mid-chain: undo state references edges by key, never by slot.
+  // mid-chain: undo state references edges by key, never by slot. The
+  // parallel SoA arrays compact in lockstep.
   if (data.dead > 16 && data.dead * 2 > data.edges.size()) {
     std::size_t write = 0;
-    for (const Edge& edge : data.edges) {
-      if (edge.weight != 0) data.edges[write++] = edge;
+    for (std::size_t i = 0; i < data.edges.size(); ++i) {
+      if (data.edges.weights[i] == 0) continue;
+      data.edges.keys[write] = data.edges.keys[i];
+      data.edges.us[write] = data.edges.us[i];
+      data.edges.vs[write] = data.edges.vs[i];
+      data.edges.weights[write] = data.edges.weights[i];
+      ++write;
     }
-    data.edges.resize(write);
+    data.edges.keys.resize(write);
+    data.edges.us.resize(write);
+    data.edges.vs.resize(write);
+    data.edges.weights.resize(write);
     data.dead = 0;
     data.edge_index.Clear();
     for (std::size_t i = 0; i < data.edges.size(); ++i) {
-      (void)data.edge_index.FindOrInsert(data.edges[i].key,
+      (void)data.edge_index.FindOrInsert(data.edges.keys[i],
                                          static_cast<std::uint32_t>(i));
     }
   }
   // Dense per-variable offsets: one unchecked read per edge endpoint
   // instead of a checked SlotOf. Only this DBC's entries are refreshed;
-  // every edge endpoint is a member, so no stale entry is ever read.
+  // every live edge endpoint is a member. Tombstone endpoints may read a
+  // stale entry, but their weight is zero, so they contribute nothing.
   const auto& members = mirror_.dbc(d);
   for (std::uint32_t offset = 0; offset < members.size(); ++offset) {
     offset_scratch_[members[offset]] = offset;
   }
-  std::uint64_t cost = 0;
-  for (const Edge& edge : data.edges) {
-    if (edge.weight == 0) continue;
-    const auto u = static_cast<VariableId>(edge.key >> 32);
-    const auto v = static_cast<VariableId>(edge.key & 0xFFFFFFFFULL);
-    cost += edge.weight *
-            OffsetDistance(offset_scratch_[u], offset_scratch_[v]);
-  }
+  std::uint64_t cost = PriceDbcEdgesAll(data);
   if (first_pays_ && data.head != kNoPosition) {
     cost += PortDistance(offset_scratch_[var_of_[data.head]], port_);
   }
@@ -351,9 +369,11 @@ void CostEvaluator::RebuildAll(const Placement& placement, bool with_weights) {
   bound_ = false;  // basic guarantee: a throwing rebuild leaves us unbound
   // A placement may declare more variables than the sequence accesses
   // (ShiftCost accepts that); grow the per-variable tables so the extra
-  // ids index safely. Their position lists stay empty: never accessed.
-  if (placement.num_variables() > var_positions_.size()) {
-    var_positions_.resize(placement.num_variables());
+  // ids index safely. Their CSR position ranges stay empty (trailing
+  // pos_begin_ entries all point at the arena end): never accessed.
+  if (placement.num_variables() > NumVars()) {
+    pos_begin_.resize(placement.num_variables() + 1,
+                      static_cast<std::uint32_t>(pos_data_.size()));
     offset_scratch_.resize(placement.num_variables(), 0);
   }
   mirror_ = placement;
@@ -438,14 +458,14 @@ std::uint64_t CostEvaluator::Evaluate(const Placement& placement) {
   // (weight splices) and DBCs whose list changed at all (re-pricing).
   std::vector<VariableId> moved;
   std::uint64_t moved_positions = 0;
-  for (VariableId v = 0; v < var_positions_.size(); ++v) {
-    if (var_positions_[v].empty()) continue;  // unaccessed: never costs
+  for (VariableId v = 0; v < NumVars(); ++v) {
+    if (FreqOf(v) == 0) continue;  // unaccessed: never costs
     if (!placement.IsPlaced(v)) {
       throw std::logic_error("Placement: variable is unplaced");
     }
     if (mirror_.SlotOf(v).dbc != placement.SlotOf(v).dbc) {
       moved.push_back(v);
-      moved_positions += var_positions_[v].size();
+      moved_positions += FreqOf(v);
     }
   }
   std::vector<std::uint32_t> dirty;
@@ -506,16 +526,40 @@ const Placement& CostEvaluator::placement() const {
 
 // ---- trial scoring ---------------------------------------------------------
 
-std::uint64_t CostEvaluator::PriceDbcEdges(const DbcData& data,
-                                           VariableId excluded) const {
+std::uint64_t CostEvaluator::PriceDbcEdgesAll(const DbcData& data) const {
+  // The hot scan: no tombstone test (weight 0 prices to zero — a stale
+  // offset read stays in bounds, offset_scratch_ covers every variable),
+  // no key unpacking, no branches. Plain index arithmetic over four
+  // parallel arrays that the compiler auto-vectorizes.
+  const std::size_t n = data.edges.size();
+  const std::uint32_t* const us = data.edges.us.data();
+  const std::uint32_t* const vs = data.edges.vs.data();
+  const std::uint64_t* const ws = data.edges.weights.data();
+  const std::uint32_t* const offsets = offset_scratch_.data();
   std::uint64_t cost = 0;
-  for (const Edge& edge : data.edges) {
-    if (edge.weight == 0) continue;
-    const auto u = static_cast<VariableId>(edge.key >> 32);
-    const auto v = static_cast<VariableId>(edge.key & 0xFFFFFFFFULL);
-    if (u == excluded || v == excluded) continue;
-    cost += edge.weight *
-            OffsetDistance(offset_scratch_[u], offset_scratch_[v]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t a = offsets[us[i]];
+    const std::uint32_t b = offsets[vs[i]];
+    cost += ws[i] * (std::max(a, b) - std::min(a, b));
+  }
+  return cost;
+}
+
+std::uint64_t CostEvaluator::PriceDbcEdgesExcluding(
+    const DbcData& data, VariableId excluded) const {
+  // PeekMove's from-side: same scan, with edges incident to the departing
+  // variable masked out arithmetically (keep = 0/1) instead of branched.
+  const std::size_t n = data.edges.size();
+  const std::uint32_t* const us = data.edges.us.data();
+  const std::uint32_t* const vs = data.edges.vs.data();
+  const std::uint64_t* const ws = data.edges.weights.data();
+  const std::uint32_t* const offsets = offset_scratch_.data();
+  std::uint64_t cost = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t a = offsets[us[i]];
+    const std::uint32_t b = offsets[vs[i]];
+    const std::uint64_t keep = us[i] != excluded && vs[i] != excluded;
+    cost += keep * ws[i] * (std::max(a, b) - std::min(a, b));
   }
   return cost;
 }
@@ -547,7 +591,7 @@ std::uint64_t CostEvaluator::PeekTranspose(std::uint32_t dbc, std::size_t i,
   }
   std::swap(offset_scratch_[members[i]], offset_scratch_[members[j]]);
   const DbcData& data = dbcs_[dbc];
-  std::uint64_t new_cost = PriceDbcEdges(data, kNoVariable);
+  std::uint64_t new_cost = PriceDbcEdgesAll(data);
   if (first_pays_ && data.head != kNoPosition) {
     new_cost += PortDistance(offset_scratch_[var_of_[data.head]], port_);
   }
@@ -586,7 +630,7 @@ std::uint64_t CostEvaluator::PeekReorder(
     offset_scratch_[order[offset]] = offset;
   }
   const DbcData& data = dbcs_[dbc];
-  std::uint64_t new_cost = PriceDbcEdges(data, kNoVariable);
+  std::uint64_t new_cost = PriceDbcEdgesAll(data);
   if (first_pays_ && data.head != kNoPosition) {
     new_cost += PortDistance(offset_scratch_[var_of_[data.head]], port_);
   }
@@ -624,7 +668,7 @@ std::uint64_t CostEvaluator::PeekMove(VariableId v, std::uint32_t dbc) {
     }
     offset_scratch_[v] = size - 1;
     const DbcData& data = dbcs_[dbc];
-    std::uint64_t new_cost = PriceDbcEdges(data, kNoVariable);
+    std::uint64_t new_cost = PriceDbcEdgesAll(data);
     if (first_pays_ && data.head != kNoPosition) {
       new_cost += PortDistance(offset_scratch_[var_of_[data.head]], port_);
     }
@@ -634,7 +678,7 @@ std::uint64_t CostEvaluator::PeekMove(VariableId v, std::uint32_t dbc) {
   const DbcData& from = dbcs_[old.dbc];
   const DbcData& to = dbcs_[dbc];
   const auto& from_members = mirror_.dbc(old.dbc);
-  const auto& occurrences = var_positions_[v];
+  const std::span<const std::uint32_t> occurrences = PositionsOf(v);
 
   // FROM side: gap-closed offsets, edges incident to v vanish, and each
   // maximal run of v's occurrences welds its outer neighbors together.
@@ -642,7 +686,7 @@ std::uint64_t CostEvaluator::PeekMove(VariableId v, std::uint32_t dbc) {
     const std::uint32_t offset = mirror_.SlotOf(x).offset;
     offset_scratch_[x] = offset > old.offset ? offset - 1 : offset;
   }
-  std::uint64_t new_from = PriceDbcEdges(from, v);
+  std::uint64_t new_from = PriceDbcEdgesExcluding(from, v);
   for (const std::uint32_t t : occurrences) {
     const std::uint32_t p = prev_[t];
     const bool run_start = p == kNoPosition || var_of_[p] != v;
@@ -747,7 +791,7 @@ std::uint64_t CostEvaluator::ApplyMove(VariableId v, std::uint32_t dbc) {
       // touches one per remaining chain node. For high-frequency
       // variables the rebuild wins — and bounds the cost of any move by
       // the chain length, splice-mode by 3 * freq(v).
-      const std::size_t freq = var_positions_[v].size();
+      const std::size_t freq = FreqOf(v);
       const std::size_t from_chain = dbcs_[old.dbc].count - freq;
       const std::size_t to_chain = dbcs_[dbc].count + freq;
       rec.from_rebuilt = 3 * freq > from_chain;

@@ -51,6 +51,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -144,16 +145,49 @@ class CostEvaluator {
     return undo_.size();
   }
 
+  /// Times any arena-backed storage (edge SoA arrays) had to grow its
+  /// backing allocation. Rebinding same-shaped placements reuses the warm
+  /// arenas, so the counter goes quiet after the first Bind — the
+  /// invariant the arena growth/reuse test pins.
+  [[nodiscard]] std::size_t arena_growths() const noexcept {
+    return arena_growths_;
+  }
+
  private:
-  /// One transition edge of a DBC's restricted subsequence: `key` packs the
-  /// unordered variable pair (min << 32 | max), `weight` counts how often
-  /// the pair is accessed consecutively. Self pairs are stored (splices
-  /// need their bookkeeping) but always price to zero. Edges live in a
-  /// dense array so re-pricing is a flat scan; zero-weight entries are
-  /// tombstones, compacted when they outnumber the live ones.
-  struct Edge {
-    std::uint64_t key = 0;
-    std::uint64_t weight = 0;
+  /// The transition edges of one DBC's restricted subsequence, in
+  /// structure-of-arrays layout: parallel arrays over the edge slots.
+  /// `keys[i]` packs the unordered variable pair (min << 32 | max) —
+  /// the identity used by EdgeIndex lookups and key-addressed undo;
+  /// `us[i]` / `vs[i]` are the same pair pre-unpacked so the pricing
+  /// scan is pure array arithmetic (no shifts/masks per edge);
+  /// `weights[i]` counts how often the pair is accessed consecutively.
+  /// Self pairs are stored (splices need their bookkeeping) but always
+  /// price to zero. Slots form a dense arena so re-pricing is a flat
+  /// scan; zero-weight slots are tombstones, compacted when they
+  /// outnumber the live ones. clear() keeps capacity: the arena
+  /// survives rebinds without reallocating.
+  struct EdgeArray {
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint32_t> us, vs;
+    std::vector<std::uint64_t> weights;
+
+    [[nodiscard]] std::size_t size() const noexcept { return keys.size(); }
+    void clear() noexcept {
+      keys.clear();
+      us.clear();
+      vs.clear();
+      weights.clear();
+    }
+    /// Appends one edge; returns true when the backing storage grew
+    /// (arena telemetry — see CostEvaluator::arena_growths()).
+    bool Append(std::uint64_t key, std::uint64_t weight) {
+      const bool grew = keys.size() == keys.capacity();
+      keys.push_back(key);
+      us.push_back(static_cast<std::uint32_t>(key >> 32));
+      vs.push_back(static_cast<std::uint32_t>(key & 0xFFFFFFFFULL));
+      weights.push_back(weight);
+      return grew;
+    }
   };
 
   /// Open-addressing edge lookup (packed pair -> slot in DbcData::edges).
@@ -181,7 +215,7 @@ class CostEvaluator {
     std::uint32_t head = kNoPosition;  ///< first trace position of the DBC
     std::uint32_t tail = kNoPosition;
     std::size_t count = 0;  ///< chain length (positions in this DBC)
-    std::vector<Edge> edges;
+    EdgeArray edges;
     EdgeIndex edge_index;
     std::size_t dead = 0;  ///< zero-weight edges in `edges`
     std::uint64_t cost = 0;
@@ -207,7 +241,7 @@ class CostEvaluator {
     /// undo swaps the snapshotted pre-edit edge state back in.
     bool from_rebuilt = false;
     bool to_rebuilt = false;
-    std::vector<Edge> from_snap, to_snap;
+    EdgeArray from_snap, to_snap;
     EdgeIndex from_index_snap, to_index_snap;
     std::size_t from_dead_snap = 0, to_dead_snap = 0;
     /// Pre-edit costs of the touched DBCs (kMove: from_dbc and dbc); undo
@@ -227,9 +261,6 @@ class CostEvaluator {
 
   static constexpr std::uint32_t kNoPosition =
       std::numeric_limits<std::uint32_t>::max();
-  /// PriceDbcEdges sentinel for "exclude nothing".
-  static constexpr VariableId kNoVariable =
-      std::numeric_limits<VariableId>::max();
 
   void RequireBound() const;
   /// Full rebuild from `placement`. `with_weights` also populates the
@@ -248,11 +279,11 @@ class CostEvaluator {
   /// Re-prices one DBC: flat scan over its edges + the mirror's offsets.
   void RepriceDbc(std::uint32_t d);
   void RecomputeMultiPort();
-  /// The edge keyed `key` in `data`, appended as a tombstone on first
-  /// sight. All weight writes go through SetEdgeWeight so the dead-edge
-  /// counter (the compaction trigger) has a single owner.
-  Edge& EdgeFor(DbcData& data, std::uint64_t key);
-  void SetEdgeWeight(DbcData& data, Edge& edge, std::uint64_t weight);
+  /// Slot of the edge keyed `key` in `data`, appended as a tombstone on
+  /// first sight. All weight writes go through SetEdgeWeight so the
+  /// dead-edge counter (the compaction trigger) has a single owner.
+  std::uint32_t EdgeFor(DbcData& data, std::uint64_t key);
+  void SetEdgeWeight(DbcData& data, std::uint32_t slot, std::uint64_t weight);
   void AddWeight(std::uint32_t dbc, VariableId u, VariableId v,
                  std::int64_t delta);
   /// Unlinks ALL of v's trace positions from a DBC's restricted
@@ -275,10 +306,15 @@ class CostEvaluator {
   /// chain length. Small-membership DBCs count pairs in a dense
   /// offset-indexed matrix (no hashing at all); larger ones hash.
   void RebuildDbcWeights(std::uint32_t dbc);
-  /// Sum of one DBC's live edge prices under the offsets currently staged
-  /// in offset_scratch_, skipping edges incident to `excluded`.
-  [[nodiscard]] std::uint64_t PriceDbcEdges(const DbcData& data,
-                                            VariableId excluded) const;
+  /// Sum of one DBC's edge prices under the offsets currently staged in
+  /// offset_scratch_. The all-edges variant is the hot scan: branch-free
+  /// over the SoA slots (tombstones carry weight 0 and price to zero, so
+  /// no skip test — the loop is pure multiply-accumulate the compiler can
+  /// vectorize). The excluding variant masks out edges incident to one
+  /// variable (PeekMove's from-side).
+  [[nodiscard]] std::uint64_t PriceDbcEdgesAll(const DbcData& data) const;
+  [[nodiscard]] std::uint64_t PriceDbcEdgesExcluding(const DbcData& data,
+                                                     VariableId excluded) const;
   /// Multi-port trial scoring: replay a mutated scratch copy.
   [[nodiscard]] std::uint64_t PeekByReplay(
       const Placement& candidate) const;
@@ -291,7 +327,25 @@ class CostEvaluator {
   bool first_pays_;
   std::int64_t port_ = 0;
   std::vector<VariableId> var_of_;  ///< trace position -> variable
-  std::vector<std::vector<std::uint32_t>> var_positions_;
+
+  /// Per-variable trace positions in CSR layout: variable v's positions
+  /// are pos_data_[pos_begin_[v] .. pos_begin_[v + 1]) — one flat arena
+  /// instead of a vector-of-vectors, so splice loops stream contiguous
+  /// memory and the frequency of v is a subtraction.
+  std::vector<std::uint32_t> pos_data_;
+  std::vector<std::uint32_t> pos_begin_;  ///< size NumVars() + 1
+
+  [[nodiscard]] std::span<const std::uint32_t> PositionsOf(
+      VariableId v) const noexcept {
+    return {pos_data_.data() + pos_begin_[v],
+            pos_data_.data() + pos_begin_[v + 1]};
+  }
+  [[nodiscard]] std::size_t FreqOf(VariableId v) const noexcept {
+    return pos_begin_[v + 1] - pos_begin_[v];
+  }
+  [[nodiscard]] std::size_t NumVars() const noexcept {
+    return pos_begin_.size() - 1;
+  }
 
   bool bound_ = false;
   bool links_valid_ = false;
@@ -323,6 +377,9 @@ class CostEvaluator {
   std::vector<std::uint32_t> matrix_scratch_;
   /// Scratch last-offset-per-DBC table for RebuildAll's cost walk.
   std::vector<std::int64_t> last_off_scratch_;
+  /// Backing-storage growth events across all edge arenas (telemetry for
+  /// arena_growths()).
+  std::size_t arena_growths_ = 0;
 };
 
 }  // namespace rtmp::core

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -191,6 +192,21 @@ class OnlineEngine {
   /// id, std::out_of_range otherwise.
   void Feed(trace::VariableId variable, trace::AccessType type);
 
+  /// Batched feed: appends a whole block of accesses, deciding and
+  /// serving every window boundary the block crosses in place — one call
+  /// per quantum instead of one per access, and the window service path
+  /// runs allocation-free (the request block and pricing scratch are
+  /// reused across windows). `id_offset` is added to every variable id
+  /// in the block (the serve layer's per-tenant base id); the shifted
+  /// ids must be pre-registered, std::out_of_range otherwise.
+  /// Bit-identical to the equivalent per-access Feed loop: windows break
+  /// at the same boundaries and see the same accesses.
+  void Feed(std::span<const trace::Access> accesses,
+            trace::VariableId id_offset = 0);
+
+  /// Batched all-reads feed over raw variable ids (pre-registered).
+  void Feed(std::span<const trace::VariableId> variables);
+
   /// Forces a window boundary now: the buffered partial window is
   /// decided and served as if it had filled up; no-op on an empty
   /// buffer. The serve layer closes every arbitration turn with this, so
@@ -227,6 +243,15 @@ class OnlineEngine {
 
  private:
   void ProcessWindow();
+  /// Serves one full window straight from a fed span — the steady-state
+  /// fast path of the batched Feed (no buffer copy, no second pass).
+  /// Only taken when it is bit-identical to the buffered path: placement
+  /// settled (no re-seed, no refinement, no unplaced variables), detector
+  /// kNone, single-port fused pricing.
+  void ProcessWindowFromSpan(std::span<const trace::Access> block,
+                             trace::VariableId id_offset);
+  /// Whether ProcessWindowFromSpan may serve the next full window.
+  [[nodiscard]] bool DirectServeEligible() const noexcept;
   /// Extends `placement_` over variables that appeared this window:
   /// each goes to the emptiest DBC (lowest index on ties). First
   /// placement of a variable is not migration — nothing moves.
@@ -240,8 +265,12 @@ class OnlineEngine {
   /// Executes a migration plan on the controller and books it into
   /// `record` and the running totals.
   void ChargeMigration(const MigrationPlan& plan, WindowRecord& record);
-  /// Issues the window's accesses under `placement_`.
-  void ServeWindow(WindowRecord& record);
+  /// Issues `accesses` (shifted by `id_offset`) under `placement_` and
+  /// prices them into `record`. The buffered path passes the window
+  /// buffer with offset 0; the direct path passes the fed span.
+  void ServeWindow(WindowRecord& record,
+                   std::span<const trace::Access> accesses,
+                   trace::VariableId id_offset);
 
   OnlineConfig config_;
   rtm::RtmConfig device_config_;
@@ -258,6 +287,12 @@ class OnlineEngine {
   std::size_t windows_processed_ = 0;
   std::size_t served_accesses_ = 0;
   OnlineResult result_;
+  /// Reusable window-service request block: built once per window,
+  /// capacity survives across windows (no per-window allocation).
+  std::vector<rtm::TimedRequest> request_scratch_;
+  /// Per-DBC last-offset scratch for the fused single-port window cost
+  /// (the SinglePortCosts walk folded into the request-building pass).
+  std::vector<std::int64_t> last_off_scratch_;
 };
 
 /// Convenience: feeds a whole sequence through one session.

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rtm/config.h"
@@ -114,6 +115,13 @@ class RtmController {
   /// throws std::invalid_argument otherwise). Returns per-request timings.
   std::vector<RequestTiming> Execute(const std::vector<TimedRequest>& requests);
 
+  /// Batched service path: identical arithmetic and statistics to
+  /// Execute, but no per-request RequestTiming is materialized — the
+  /// proactive lookahead window lives in a small reused ring buffer
+  /// instead of the full timing vector. The allocation-free way to
+  /// service a window whose caller only reads stats().
+  void ExecuteBatch(std::span<const TimedRequest> requests);
+
   [[nodiscard]] const ControllerStats& stats() const noexcept {
     return stats_;
   }
@@ -128,6 +136,10 @@ class RtmController {
   /// Private vs. shared channel timeline (see ControllerConfig).
   [[nodiscard]] double channel_free() const noexcept;
   void set_channel_free(double when_ns) noexcept;
+  /// Shared body of Execute/ExecuteBatch; appends timings to `out` when
+  /// non-null.
+  void ExecuteSpan(std::span<const TimedRequest> requests,
+                   std::vector<RequestTiming>* out);
 
   RtmConfig config_;
   ControllerConfig controller_;
@@ -138,6 +150,10 @@ class RtmController {
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   ControllerStats stats_;
+  /// access_start_ns of the last `lookahead` requests of the running
+  /// batch (proactive mode): ExecuteBatch's replacement for indexing the
+  /// materialized timing vector. Reused across batches.
+  std::vector<double> lookahead_ring_;
 };
 
 /// Convenience: wraps a placement-mapped access sequence into back-to-back

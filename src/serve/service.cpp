@@ -212,9 +212,13 @@ void PlacementService::ServeTurn(Session& session,
   const std::uint64_t requests_before = engine.DeviceStats().requests;
   const rtm::EnergyBreakdown energy_before = engine.DeviceEnergy();
 
-  for (std::size_t i = 0; i < quantum; ++i) {
-    const trace::Access& access = seq[session.cursor + i];
-    engine.Feed(session.base_id + access.variable, access.type);
+  // The whole quantum goes down as one batched span — one engine call
+  // per turn, remapped into the tenant's shard-local id space — instead
+  // of a per-access Feed loop.
+  const std::span<const trace::Access> block(
+      seq.accesses().data() + session.cursor, quantum);
+  engine.Feed(block, session.base_id);
+  for (const trace::Access& access : block) {
     if (access.type == trace::AccessType::kWrite) {
       ++stats.writes;
     } else {

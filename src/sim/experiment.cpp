@@ -14,6 +14,7 @@
 #include "online/policy.h"
 #include "serve/serve_cell.h"
 #include "serve/serve_policy.h"
+#include "sim/worker_pool.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "workloads/workload.h"
@@ -273,10 +274,11 @@ std::vector<RunResult> RunMatrix(
   if (threads == 1) {
     worker();
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    // Parked persistent threads instead of a spawn-and-join per matrix:
+    // back-to-back grids (the bench harness, the serve layer) reuse the
+    // same workers. Determinism is unchanged — cells are still claimed
+    // through the atomic counter and written to fixed slots.
+    WorkerPool::Global().Run(threads, worker);
   }
   if (error) std::rethrow_exception(error);
   return results;

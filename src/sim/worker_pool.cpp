@@ -1,0 +1,63 @@
+#include "sim/worker_pool.h"
+
+namespace rtmp::sim {
+
+WorkerPool& WorkerPool::Global() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t WorkerPool::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void WorkerPool::Run(unsigned threads, const std::function<void()>& fn) {
+  if (threads == 0) return;
+  const std::lock_guard<std::mutex> serial(run_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (workers_.size() < threads) {
+    // A freshly spawned thread blocks on mutex_ until we release it in
+    // the wait below, then parks like the rest.
+    workers_.emplace_back(&WorkerPool::WorkerLoop, this);
+  }
+  job_ = &fn;
+  needed_ = threads;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return needed_ == 0 && active_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this, seen] {
+      return shutdown_ || (generation_ != seen && needed_ > 0);
+    });
+    if (shutdown_) return;
+    // Claim one unit of this generation; at most one per worker (seen
+    // advances), so `threads` units land on `threads` distinct workers.
+    seen = generation_;
+    --needed_;
+    ++active_;
+    const std::function<void()>* job = job_;
+    lock.unlock();
+    (*job)();
+    lock.lock();
+    --active_;
+    if (needed_ == 0 && active_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace rtmp::sim

@@ -1,0 +1,75 @@
+// Process-wide persistent worker pool.
+//
+// RunMatrix used to spawn a fresh std::vector<std::thread> per call and
+// join it at the end — fine for one big matrix, measurable overhead for
+// the bench harness and the serve layer, which run many small matrices
+// back to back (thread creation is microseconds each, times threads,
+// times cells-grids). This pool parks its threads between calls instead:
+// the first Run() spawns up to the requested width, later calls reuse the
+// parked threads and only grow the pool when asked for more than its
+// high-water mark.
+//
+// Concurrency contract:
+//  * Run(threads, fn) invokes fn() concurrently on `threads` pool workers
+//    and blocks until every invocation returned — exactly the semantics
+//    of the spawn-and-join loop it replaces. The caller's stack-captured
+//    state is safe to reference from fn for the duration of the call.
+//  * Runs are serialized: a second caller blocks until the first matrix
+//    drains (RunMatrix's own atomic work-claiming makes concurrent cell
+//    execution inside one Run; two independent matrices never interleave
+//    on the same workers).
+//  * fn must not throw — catch inside (RunMatrix's worker already
+//    captures every exception into an std::exception_ptr).
+//
+// The singleton joins its threads from a function-local static's
+// destructor at process exit, so ASan's leak checker and TSan see a
+// clean shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtmp::sim {
+
+class WorkerPool {
+ public:
+  /// The process-wide pool (lazily constructed, joined at exit).
+  static WorkerPool& Global();
+
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Runs `fn` on `threads` workers concurrently; returns when all have
+  /// finished. No-op for threads == 0. See the header comment for the
+  /// full contract.
+  void Run(unsigned threads, const std::function<void()>& fn);
+
+  /// Threads currently parked in the pool (the high-water mark of every
+  /// Run so far). Exposed for tests.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  void WorkerLoop();
+
+  /// Serializes Run callers (one matrix at a time).
+  std::mutex run_mutex_;
+  /// Guards everything below.
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait for a new generation
+  std::condition_variable done_cv_;  ///< Run waits for the batch to drain
+  std::vector<std::thread> workers_;
+  const std::function<void()>* job_ = nullptr;
+  /// Dispatch generation: a worker picks up at most one unit per bump.
+  std::uint64_t generation_ = 0;
+  unsigned needed_ = 0;  ///< units of the current generation not yet claimed
+  unsigned active_ = 0;  ///< claimed units still running
+  bool shutdown_ = false;
+};
+
+}  // namespace rtmp::sim

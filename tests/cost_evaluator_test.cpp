@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/cost_evaluator.h"
@@ -261,6 +262,39 @@ TEST(CostEvaluator, EvaluateDiffPathTracksGradualMutation) {
     p.MoveToEnd(v, d);
     ASSERT_EQ(evaluator.Evaluate(p), ShiftCost(seq, p, options)) << step;
   }
+}
+
+TEST(CostEvaluator, ArenaRebindReusesWarmStorage) {
+  // The edge arenas grow while the first Bind fills them, then go quiet:
+  // rebinds of same-shaped placements clear-but-keep-capacity and refill
+  // without a single reallocation (the arena_growths() invariant behind
+  // the mutation-scoring throughput numbers).
+  util::Rng rng(2026);
+  const auto seq = RandomSequence(24, 4000, rng);
+  CostEvaluator evaluator(seq, CostOptions{});
+  EXPECT_EQ(evaluator.arena_growths(), 0u);
+
+  const Placement p = RandomPlacement(24, 4, 16, rng);
+  evaluator.Bind(p);
+  const std::size_t cold = evaluator.arena_growths();
+  EXPECT_GT(cold, 0u);  // the first Bind had to allocate
+
+  for (int round = 0; round < 5; ++round) {
+    evaluator.Bind(p);
+    EXPECT_EQ(evaluator.Evaluate(p), evaluator.Cost());
+  }
+  EXPECT_EQ(evaluator.arena_growths(), cold);
+
+  // Reordering inside DBCs keeps the partition — hence the edge sets —
+  // identical, so rebinding a permuted placement is growth-free too.
+  Placement permuted = p;
+  for (std::uint32_t d = 0; d < permuted.num_dbcs(); ++d) {
+    std::vector<VariableId> order = permuted.dbc(d);
+    std::reverse(order.begin(), order.end());
+    permuted.Reorder(d, order);
+  }
+  evaluator.Bind(permuted);
+  EXPECT_EQ(evaluator.arena_growths(), cold);
 }
 
 TEST(CostEvaluator, SinglePortFastPathReportsIncremental) {

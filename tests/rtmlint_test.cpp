@@ -341,6 +341,95 @@ TEST(RtmlintNakedNewTest, QuietOnMakeUniqueAndOperatorNew) {
   EXPECT_EQ(CountRule(findings, "naked-new"), 0);
 }
 
+// ---- hot-path-alloc --------------------------------------------------------
+
+TEST(RtmlintHotPathAllocTest, FiresOnAllocationsInTaggedFiles) {
+  const auto findings = Lint(
+      "src/demo.cpp",
+      "// rtmlint: hot-path — serving loop, keep allocation-free.\n"
+      "void Serve(std::vector<int>& out, Ring& ring) {\n"
+      "  out.push_back(1);\n"
+      "  ring.items()->emplace_back(2);\n"
+      "  int* raw = static_cast<int*>(malloc(4));\n"
+      "  auto owned = std::make_unique<int>(3);\n"
+      "}\n");
+  const auto alloc = NewFindings(findings, "hot-path-alloc");
+  ASSERT_EQ(alloc.size(), 4u);
+  EXPECT_EQ(alloc[0].line, 3);
+  EXPECT_NE(alloc[0].message.find("push_back"), std::string::npos);
+  EXPECT_EQ(alloc[1].line, 4);
+  EXPECT_EQ(alloc[2].line, 5);
+  EXPECT_EQ(alloc[3].line, 6);
+  for (const Finding& finding : alloc) {
+    EXPECT_EQ(finding.severity, Severity::kWarning);
+  }
+}
+
+TEST(RtmlintHotPathAllocTest, NewExpressionsCountAsHeapAllocation) {
+  const auto findings =
+      Lint("src/demo.cpp",
+           "// rtmlint: hot-path\n"
+           "void* operator new(std::size_t size);\n"
+           "int* Make() { return new int(7); }\n");
+  const auto alloc = NewFindings(findings, "hot-path-alloc");
+  // The operator-new declaration is exempt, the expression is not.
+  ASSERT_EQ(alloc.size(), 1u);
+  EXPECT_EQ(alloc[0].line, 3);
+}
+
+TEST(RtmlintHotPathAllocTest, QuietWithoutTheTag) {
+  // Same allocations, no tag: the rule stays silent. A comment that
+  // merely MENTIONS the tag mid-sentence does not opt the file in, and
+  // neither does the spelling inside a string literal.
+  const auto findings = Lint(
+      "src/demo.cpp",
+      "// See hot-path-alloc: files tagged rtmlint: hot-path opt in.\n"
+      "const char* kTag = \"rtmlint: hot-path\";\n"
+      "void Serve(std::vector<int>& out) {\n"
+      "  out.push_back(1);\n"
+      "  out.emplace_back(2);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "hot-path-alloc"), 0);
+}
+
+TEST(RtmlintHotPathAllocTest, SuppressibleAndMemberAllocCallsExempt) {
+  const auto findings = Lint(
+      "src/demo.cpp",
+      "// rtmlint: hot-path\n"
+      "void Serve(std::vector<int>& out, Pool& pool) {\n"
+      "  // NOLINTNEXTLINE(rtmlint:hot-path-alloc): amortized doubling.\n"
+      "  out.push_back(1);\n"
+      "  pool.malloc(8);  // member named like the C allocator\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "hot-path-alloc"), 0);
+  int suppressed = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "hot-path-alloc" &&
+        finding.status == Finding::Status::kSuppressed) {
+      ++suppressed;
+    }
+  }
+  EXPECT_EQ(suppressed, 1);
+}
+
+TEST(RtmlintHotPathAllocTest, AdvisoryFindingsDoNotFailTheRun) {
+  RuleRegistry registry;
+  RegisterBuiltinRules(registry);
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::FromString(
+      "src/hot.cpp",
+      "// rtmlint: hot-path\n"
+      "void Serve(std::vector<int>& out) { out.push_back(1); }\n"));
+  const LintReport advisory = RunLint(files, registry, Baseline{});
+  ASSERT_EQ(advisory.CountWithStatus(Finding::Status::kNew), 1u);
+  EXPECT_TRUE(advisory.Clean());  // warnings are advisory
+  // An error-severity finding still gates.
+  files.push_back(
+      SourceFile::FromString("src/bad.cpp", "int* p = new int(7);\n"));
+  const LintReport gated = RunLint(files, registry, Baseline{});
+  EXPECT_FALSE(gated.Clean());
+}
+
 // ---- include-hygiene -------------------------------------------------------
 
 TEST(RtmlintIncludeHygieneTest, HeaderMustStartWithPragmaOnce) {
@@ -445,9 +534,10 @@ TEST(RtmlintRegistryTest, BuiltinsAreRegisteredSortedAndDescribed) {
   RegisterBuiltinRules(registry);
   const std::vector<std::string> names = registry.Names();
   const std::vector<std::string> expected = {
-      "determinism-rng",   "include-hygiene",
-      "naked-new",         "nolint-justification",
-      "registry-discipline", "unordered-iteration"};
+      "determinism-rng",   "hot-path-alloc",
+      "include-hygiene",   "naked-new",
+      "nolint-justification", "registry-discipline",
+      "unordered-iteration"};
   EXPECT_EQ(names, expected);
   EXPECT_EQ(registry.size(), expected.size());
   EXPECT_TRUE(registry.Contains("Naked-New"));  // lookups normalize case
@@ -456,6 +546,10 @@ TEST(RtmlintRegistryTest, BuiltinsAreRegisteredSortedAndDescribed) {
   EXPECT_EQ(info->category, "determinism");
   EXPECT_EQ(info->severity, Severity::kError);
   EXPECT_FALSE(info->summary.empty());
+  const auto advisory = registry.Describe("hot-path-alloc");
+  ASSERT_TRUE(advisory.has_value());
+  EXPECT_EQ(advisory->category, "performance");
+  EXPECT_EQ(advisory->severity, Severity::kWarning);
   // Lazy construction caches one instance per rule.
   EXPECT_EQ(registry.Find("naked-new").get(),
             registry.Find("naked-new").get());
@@ -481,7 +575,7 @@ TEST(RtmlintRegistryTest, DuplicateAndCrossCategoryNamesThrow) {
                std::invalid_argument);
   EXPECT_THROW(registry.Register("bad name", "memory", factory),
                std::invalid_argument);
-  EXPECT_EQ(registry.size(), 6u);
+  EXPECT_EQ(registry.size(), 7u);
 }
 
 TEST(RtmlintRegistryTest, RuleFilterRunsOnlyNamedRulesAndValidates) {
@@ -681,7 +775,7 @@ TEST(RtmlintReportTest, RulesJsonListsEveryBuiltinSortedByName) {
 }
 
 TEST(RtmlintReportTest, GlobalRegistryHasTheBuiltins) {
-  EXPECT_GE(RuleRegistry::Global().size(), 6u);
+  EXPECT_GE(RuleRegistry::Global().size(), 7u);
   EXPECT_TRUE(RuleRegistry::Global().Contains("determinism-rng"));
   EXPECT_TRUE(RuleRegistry::Global().Contains("include-hygiene"));
 }

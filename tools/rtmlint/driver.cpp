@@ -142,7 +142,13 @@ std::size_t LintReport::CountWithStatus(Finding::Status status) const {
 }
 
 bool LintReport::Clean() const {
-  return CountWithStatus(Finding::Status::kNew) == 0;
+  // Warning-severity rules (hot-path-alloc) are advisory: their findings
+  // print but never fail the run. Only error-severity findings gate.
+  return std::none_of(findings.begin(), findings.end(),
+                      [](const Finding& finding) {
+                        return finding.status == Finding::Status::kNew &&
+                               finding.severity == Severity::kError;
+                      });
 }
 
 LintReport RunLint(const std::vector<SourceFile>& files,

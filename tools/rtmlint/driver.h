@@ -44,7 +44,8 @@ struct LintReport {
 
   [[nodiscard]] std::size_t CountWithStatus(Finding::Status status) const;
 
-  /// True when nothing fails the run: no findings with Status::kNew.
+  /// True when nothing fails the run: no error-severity findings with
+  /// Status::kNew (warning-severity rules are advisory and never gate).
   [[nodiscard]] bool Clean() const;
 };
 

@@ -155,9 +155,10 @@ class RuleRegistry {
 };
 
 /// Registers the built-in rules into `registry`: determinism-rng,
-/// unordered-iteration, registry-discipline, naked-new, include-hygiene
-/// and nolint-justification. Global() calls this once; tests use it to
-/// build fresh registries.
+/// unordered-iteration, registry-discipline, naked-new, include-hygiene,
+/// nolint-justification and hot-path-alloc (the advisory
+/// warning-severity rule for files tagged `rtmlint: hot-path`).
+/// Global() calls this once; tests use it to build fresh registries.
 void RegisterBuiltinRules(RuleRegistry& registry);
 
 /// RAII self-registration into the Global() registry, for rules defined

@@ -448,6 +448,85 @@ class NolintJustificationRule final : public Rule {
   }
 };
 
+// ---- hot-path-alloc --------------------------------------------------------
+//
+// Files whose serving loops carry the throughput scenario's numbers opt
+// in with a comment whose trimmed text starts with `rtmlint: hot-path`.
+// In a tagged file every allocation spelling — push_back/emplace_back
+// member calls, new expressions, make_unique/make_shared, the C
+// allocators — is flagged so per-access heap traffic cannot creep back
+// in unnoticed. Advisory (warning severity): findings print but never
+// fail the run, because amortized growth (arena doubling, reserve-then-
+// append) is legitimate and should stay visible rather than be
+// baselined or NOLINTed away.
+class HotPathAllocRule final : public Rule {
+ public:
+  const RuleInfo& Describe() const noexcept override {
+    static const RuleInfo info{
+        "hot-path-alloc", "performance", Severity::kWarning,
+        "advisory: flags push_back/emplace_back/heap allocation in "
+        "files tagged with a `rtmlint: hot-path` comment"};
+    return info;
+  }
+
+  void Check(const SourceFile& file,
+             std::vector<Finding>* out) const override {
+    if (!IsTagged(file)) return;
+    static constexpr std::array<std::string_view, 2> kGrowthCalls = {
+        "push_back", "emplace_back"};
+    static constexpr std::array<std::string_view, 5> kAllocCalls = {
+        "make_unique", "make_shared", "malloc", "calloc", "realloc"};
+    const Tokens& tokens = file.lex.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& token = tokens[i];
+      if (token.kind != TokenKind::kIdentifier) continue;
+      const bool prev_member =
+          i > 0 && (IsPunct(tokens[i - 1], ".") ||
+                    IsPunct(tokens[i - 1], "->"));
+      if (prev_member &&
+          std::find(kGrowthCalls.begin(), kGrowthCalls.end(), token.text) !=
+              kGrowthCalls.end()) {
+        Emit(file, Describe(), token.line,
+             token.text +
+                 "() in a hot-path file: growth can reallocate "
+                 "per access; reserve up front or reuse arena storage",
+             out);
+        continue;
+      }
+      if (token.text == "new") {
+        if (i > 0 && IsIdent(tokens[i - 1], "operator")) continue;
+        Emit(file, Describe(), token.line,
+             "new expression in a hot-path file: heap allocation on the "
+             "serving path; hoist the storage out of the loop",
+             out);
+        continue;
+      }
+      if (!prev_member &&
+          std::find(kAllocCalls.begin(), kAllocCalls.end(), token.text) !=
+              kAllocCalls.end()) {
+        Emit(file, Describe(), token.line,
+             token.text +
+                 " in a hot-path file: heap allocation on the serving "
+                 "path; hoist the storage out of the loop",
+             out);
+      }
+    }
+  }
+
+ private:
+  /// True when any comment's trimmed text starts with the tag. Matching
+  /// at the start keeps prose ABOUT the tag (like this rule's own doc
+  /// comment) from opting a file in.
+  [[nodiscard]] static bool IsTagged(const SourceFile& file) {
+    for (const Comment& comment : file.lex.comments) {
+      if (util::StartsWith(util::Trim(comment.text), "rtmlint: hot-path")) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
 }  // namespace
 
 void RegisterBuiltinRules(RuleRegistry& registry) {
@@ -464,6 +543,7 @@ void RegisterBuiltinRules(RuleRegistry& registry) {
   add([] { return UnorderedIterationRule(); });
   add([] { return RegistryDisciplineRule(); });
   add([] { return NakedNewRule(); });
+  add([] { return HotPathAllocRule(); });
   add([] { return IncludeHygieneRule(); });
   add([] { return NolintJustificationRule(); });
 }
