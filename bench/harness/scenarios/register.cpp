@@ -8,6 +8,7 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   scenarios::RegisterSmoke(registry);
   scenarios::RegisterWorkloadsSmoke(registry);
   scenarios::RegisterFigOnline(registry);
+  scenarios::RegisterFigCache(registry);
   scenarios::RegisterFigMultitenant(registry);
   scenarios::RegisterThroughput(registry);
   scenarios::RegisterTable1DeviceParams(registry);

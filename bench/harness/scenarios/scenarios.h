@@ -12,6 +12,7 @@ namespace rtmp::benchtool::scenarios {
 void RegisterSmoke(ScenarioRegistry& registry);
 void RegisterWorkloadsSmoke(ScenarioRegistry& registry);
 void RegisterFigOnline(ScenarioRegistry& registry);
+void RegisterFigCache(ScenarioRegistry& registry);
 void RegisterFigMultitenant(ScenarioRegistry& registry);
 void RegisterThroughput(ScenarioRegistry& registry);
 void RegisterFig3Example(ScenarioRegistry& registry);

@@ -12,18 +12,23 @@
 //   $ ./placement_explorer online "phased(gemm-tiled,stream-scan)"
 //       online-ewma-dma-sr 4       (one command line)
 //   $ ./placement_explorer serve gsm serve-2s-ewma-dma-sr 8
+//   $ ./placement_explorer cache kv-churn cache-shift-aware-c50 4
 //
 // This is what a user integrating rtmplace into their own flow would
 // script against: pick a workload (any registered name, a
 // phased(a,b,...) splice, or an external trace file, text or binary),
 // pick a strategy — or an online policy, served through the adaptive
 // engine with migration charged; or a serve policy, every sequence a
-// tenant of one multi-tenant device — and inspect the resulting layout
-// and costs.
+// tenant of one multi-tenant device; or a cache policy, the device a
+// bounded resident set with misses filled from a backing store — and
+// inspect the resulting layout and costs.
 #include <cstdio>
 #include <fstream>
 #include <string>
 
+#include "cache/cache_cell.h"
+#include "cache/cache_policy.h"
+#include "cache/engine.h"
 #include "core/cost_model.h"
 #include "core/inter_dma.h"
 #include "core/strategy_registry.h"
@@ -65,6 +70,8 @@ int Usage() {
       "  placement_explorer online <workload> <policy> <dbcs>\n"
       "  placement_explorer serve <workload> <serve-policy> <dbcs>   each "
       "sequence a tenant\n"
+      "  placement_explorer cache <workload> <cache-policy> <dbcs>   the "
+      "device as a cache tier\n"
       "\n<workload> is a registered workload name, a phased(a,b,...) "
       "splice of\nregistered workloads, or a trace-file path (text or "
       "binary).\n"
@@ -82,6 +89,10 @@ int Usage() {
   }
   std::printf("\nserve policies (from the registry):");
   for (const auto& name : serve::ServePolicyRegistry::Global().Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\ncache policies (from the registry):");
+  for (const auto& name : cache::CachePolicyRegistry::Global().Names()) {
     std::printf(" %s", name.c_str());
   }
   std::printf("\n");
@@ -500,6 +511,81 @@ int CmdServe(const std::string& spec, const std::string& policy_name,
   return 0;
 }
 
+int CmdCache(const std::string& spec, const std::string& policy_name,
+             unsigned dbcs) {
+  const auto policy = cache::CachePolicyRegistry::Global().Find(policy_name);
+  if (!policy) {
+    std::fprintf(stderr,
+                 "unknown cache policy '%s' (the usage footer lists the "
+                 "registered ones)\n",
+                 policy_name.c_str());
+    return 1;
+  }
+  const auto benchmark = LoadBenchmark(spec);
+  const auto& info = policy->Describe();
+  std::printf(
+      "cache %s on %s, %u DBCs (eviction %s, capacity %.0f%% of the "
+      "working set)\n\n",
+      info.name.c_str(), benchmark.name.c_str(), dbcs, info.eviction.c_str(),
+      100.0 * info.capacity_ratio);
+
+  sim::ExperimentOptions options;
+  options.search_effort = sim::SearchEffortFromEnv(0.1);
+  cache::CacheStats totals;
+  std::uint64_t total_shifts = 0;
+  for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
+    const auto& seq = benchmark.sequences[s];
+    if (seq.num_variables() == 0) continue;
+    const std::size_t capacity =
+        cache::ResolveCapacity(policy->MakeConfig(), seq.num_variables());
+    const rtm::RtmConfig device = cache::DeviceForCapacity(dbcs, capacity);
+    cache::CacheConfig config = cache::CellCacheConfig(
+        *policy, device, options, benchmark.name, s, dbcs);
+    config.capacity_slots = capacity;
+    const cache::CacheResult result = cache::RunCache(seq, config, device);
+
+    const cache::CacheStats& c = result.cache;
+    const double hit_rate =
+        c.accesses == 0 ? 0.0
+                        : static_cast<double>(c.hits) /
+                              static_cast<double>(c.accesses);
+    std::printf(
+        "sequence %zu: %zu vars in %zu frames, %llu accesses, %.1f%% hits\n"
+        "  %llu misses -> %llu fills + %llu writebacks (%llu fill shifts, "
+        "%.1f ns backing)\n"
+        "  device: %llu shifts = %llu service + %llu migration + %llu fill, "
+        "%.1f ns\n",
+        s, seq.num_variables(), capacity,
+        static_cast<unsigned long long>(c.accesses), 100.0 * hit_rate,
+        static_cast<unsigned long long>(c.misses),
+        static_cast<unsigned long long>(c.fills),
+        static_cast<unsigned long long>(c.writebacks),
+        static_cast<unsigned long long>(c.fill_shifts), c.backing_ns,
+        static_cast<unsigned long long>(result.online.stats.shifts),
+        static_cast<unsigned long long>(result.online.service_shifts),
+        static_cast<unsigned long long>(result.online.migration_shifts),
+        static_cast<unsigned long long>(c.fill_shifts),
+        result.online.stats.makespan_ns + c.backing_ns);
+    totals.accesses += c.accesses;
+    totals.hits += c.hits;
+    totals.misses += c.misses;
+    totals.fills += c.fills;
+    totals.writebacks += c.writebacks;
+    totals.fill_shifts += c.fill_shifts;
+    totals.backing_ns += c.backing_ns;
+    total_shifts += result.online.stats.shifts;
+  }
+  std::printf(
+      "\ntotal: %llu shifts, %llu/%llu hits, %llu fills, %llu writebacks, "
+      "%.1f ns backing-store time\n",
+      static_cast<unsigned long long>(total_shifts),
+      static_cast<unsigned long long>(totals.hits),
+      static_cast<unsigned long long>(totals.accesses),
+      static_cast<unsigned long long>(totals.fills),
+      static_cast<unsigned long long>(totals.writebacks), totals.backing_ns);
+  return 0;
+}
+
 /// Parses a trailing `[--json <file>]`; returns false (after printing
 /// usage) on anything else.
 bool ParseJsonFlag(int argc, char** argv, int first, std::string* json_path) {
@@ -540,6 +626,10 @@ int main(int argc, char** argv) {
     }
     if (argc >= 5 && std::string(argv[1]) == "serve") {
       return CmdServe(argv[2], argv[3],
+                      static_cast<unsigned>(std::stoul(argv[4])));
+    }
+    if (argc >= 5 && std::string(argv[1]) == "cache") {
+      return CmdCache(argv[2], argv[3],
                       static_cast<unsigned>(std::stoul(argv[4])));
     }
     if (argc >= 2 && std::string(argv[1]) == "strategies") {

@@ -1,0 +1,68 @@
+// The modeled memory tier behind the RTM cache (hybrid-memory mode).
+//
+// In the capacity-constrained mode (cache/engine.h) the racetrack device
+// holds only a bounded resident set; a miss pulls the word up from this
+// slower backing store (a fill) and a dirty eviction pushes the stale
+// copy back down (a writeback). The device side of that traffic — the
+// read sweep that drains victims and the write sweep that lands incoming
+// words — is real controller work and is charged there; THIS model
+// accounts for the far side of the transfer: the latency the backing
+// tier adds to the end-to-end runtime and the energy it burns per moved
+// word.
+//
+// The model is deliberately flat (fixed per-word charges, no banking or
+// queueing): the reproduction's subject is the racetrack tier, and the
+// backing store only needs to be expensive enough that eviction-policy
+// quality shows up in the totals. The defaults approximate a DRAM-class
+// tier a few times slower than the device's word access.
+#pragma once
+
+#include <cstdint>
+
+namespace rtmp::cache {
+
+/// Per-word charges of the backing tier.
+struct BackingStoreConfig {
+  double fill_ns = 50.0;       ///< backing read latency per filled word
+  double writeback_ns = 50.0;  ///< backing write latency per written-back word
+  double fill_pj = 15.0;       ///< backing read energy per filled word
+  double writeback_pj = 15.0;  ///< backing write energy per written-back word
+};
+
+/// Accumulates the backing-store side of the cache traffic. Time and
+/// energy are derived from the counts on demand, so the accumulator
+/// stays two integers.
+class BackingStoreModel {
+ public:
+  explicit BackingStoreModel(BackingStoreConfig config) noexcept
+      : config_(config) {}
+
+  void RecordFill() noexcept { ++fills_; }
+  void RecordWriteback() noexcept { ++writebacks_; }
+
+  [[nodiscard]] std::uint64_t fills() const noexcept { return fills_; }
+  [[nodiscard]] std::uint64_t writebacks() const noexcept {
+    return writebacks_;
+  }
+
+  /// Total transfer time spent in the backing tier. Reported separately
+  /// from the device makespan (the device timeline stays pure); cache
+  /// cells fold it into their runtime as a serial penalty.
+  [[nodiscard]] double busy_ns() const noexcept {
+    return static_cast<double>(fills_) * config_.fill_ns +
+           static_cast<double>(writebacks_) * config_.writeback_ns;
+  }
+
+  /// Total energy burned in the backing tier.
+  [[nodiscard]] double energy_pj() const noexcept {
+    return static_cast<double>(fills_) * config_.fill_pj +
+           static_cast<double>(writebacks_) * config_.writeback_pj;
+  }
+
+ private:
+  BackingStoreConfig config_{};
+  std::uint64_t fills_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace rtmp::cache

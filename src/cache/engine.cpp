@@ -1,0 +1,343 @@
+#include "cache/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "online/migration.h"
+
+namespace rtmp::cache {
+
+namespace {
+
+/// (dbc, offset) sweep order for AppendSweepRequests.
+bool SlotSweepOrder(const core::Slot& a, const core::Slot& b) noexcept {
+  if (a.dbc != b.dbc) return a.dbc < b.dbc;
+  return a.offset < b.offset;
+}
+
+}  // namespace
+
+std::size_t ResolveCapacity(const CacheConfig& config,
+                            std::size_t num_variables) {
+  if (config.capacity_slots != 0) return config.capacity_slots;
+  if (!std::isfinite(config.capacity_ratio) || config.capacity_ratio <= 0.0) {
+    throw std::invalid_argument(
+        "ResolveCapacity: capacity_ratio must be finite and > 0");
+  }
+  const double scaled =
+      std::ceil(config.capacity_ratio * static_cast<double>(num_variables));
+  return std::max<std::size_t>(1, static_cast<std::size_t>(scaled));
+}
+
+CacheEngine::CacheEngine(CacheConfig config, rtm::RtmConfig device)
+    : config_(std::move(config)),
+      engine_(config_.engine, device),
+      backing_(config_.backing) {
+  if (config_.capacity_slots == 0) {
+    throw std::invalid_argument(
+        "CacheEngine: capacity_slots must be resolved (> 0); "
+        "see ResolveCapacity");
+  }
+  policy_ = EvictionPolicyRegistry::Global().Create(config_.eviction,
+                                                    config_.eviction_seed);
+  if (policy_ == nullptr) {
+    throw std::invalid_argument("CacheEngine: unknown eviction policy '" +
+                                config_.eviction + "'");
+  }
+  frames_.resize(config_.capacity_slots);
+  frame_pending_.assign(frames_.size(), 0);
+  last_offsets_.assign(device.total_dbcs(), -1);
+  engine_.SetPreServeHook(
+      [this](const core::Placement& placement, rtm::RtmController& controller) {
+        ExecutePendingFills(placement, controller);
+      });
+}
+
+std::uint32_t CacheEngine::RegisterVariable(std::string_view name,
+                                            std::uint32_t owner) {
+  const auto [it, inserted] =
+      ids_.emplace(std::string(name), static_cast<std::uint32_t>(names_.size()));
+  if (!inserted) return it->second;
+  const std::uint32_t id = it->second;
+  names_.emplace_back(name);
+  frame_of_.push_back(kNoFrame);
+  owner_of_.push_back(owner);
+  if (owner >= owner_resident_.size()) {
+    owner_resident_.resize(owner + 1, 0);
+    owner_quota_.resize(owner + 1, 0);
+  }
+  if (id < frames_.size()) {
+    // Free admission: the initial resident set (see RegisterVariable doc).
+    frame_of_[id] = id;
+    frames_[id].occupant = id;
+    frames_[id].owner = owner;
+    ++owner_resident_[owner];
+  }
+  return id;
+}
+
+void CacheEngine::SetOwnerQuota(std::uint32_t owner, std::size_t quota) {
+  if (owner >= owner_resident_.size()) {
+    owner_resident_.resize(owner + 1, 0);
+    owner_quota_.resize(owner + 1, 0);
+  }
+  owner_quota_[owner] = quota;
+}
+
+void CacheEngine::Feed(std::string_view name, trace::AccessType type) {
+  Feed(RegisterVariable(name), type);
+}
+
+void CacheEngine::Feed(std::uint32_t variable, trace::AccessType type) {
+  if (finished_) {
+    throw std::logic_error("CacheEngine: Feed after Finish");
+  }
+  if (variable >= names_.size()) {
+    throw std::out_of_range("CacheEngine: unregistered variable id");
+  }
+  window_.push_back({variable, type});
+  if (window_.size() >= config_.engine.window_accesses) ResolveWindow();
+}
+
+void CacheEngine::Feed(std::span<const trace::Access> accesses,
+                       std::uint32_t id_offset) {
+  for (const trace::Access& access : accesses) {
+    Feed(access.variable + id_offset, access.type);
+  }
+}
+
+void CacheEngine::FlushWindow() {
+  if (finished_) {
+    throw std::logic_error("CacheEngine: FlushWindow after Finish");
+  }
+  ResolveWindow();
+}
+
+void CacheEngine::RegisterFramePool() {
+  if (frames_registered_) return;
+  frames_registered_ = true;
+  // The wrapped engine's variable space IS the frame pool, registered in
+  // id order so frame f maps to wrapped-engine variable f. Each frame
+  // takes its CURRENT occupant's logical name: the reseed strategies
+  // break access-frequency ties by variable name (see
+  // core::SortByFrequencyDescending), so with capacity >= the working
+  // set the wrapped engine must see the exact names a bare engine would
+  // — that is what keeps the full-capacity oracle bit-identical.
+  // Unoccupied frames get a synthetic name, disambiguated if a logical
+  // variable happens to share it (AddVariable dedupes by name, and a
+  // dedupe hit here would silently fuse two frames).
+  for (std::size_t f = 0; f < frames_.size(); ++f) {
+    const std::uint32_t occupant = frames_[f].occupant;
+    std::string name = occupant != kNoFrame ? names_[occupant]
+                                            : "f" + std::to_string(f);
+    std::uint32_t id = engine_.RegisterVariable(name);
+    while (id != f) {
+      name += "'";
+      id = engine_.RegisterVariable(name);
+    }
+  }
+}
+
+void CacheEngine::ResolveWindow() {
+  if (window_.empty()) return;
+  RegisterFramePool();
+
+  remaining_uses_.assign(names_.size(), 0);
+  for (const trace::Access& access : window_) {
+    ++remaining_uses_[access.variable];
+  }
+  for (std::size_t f = 0; f < frames_.size(); ++f) {
+    frame_pending_[f] = frames_[f].occupant == kNoFrame
+                            ? 0
+                            : remaining_uses_[frames_[f].occupant];
+  }
+  std::fill(last_offsets_.begin(), last_offsets_.end(), -1);
+  // Victim ranking peeks the placement that served the PREVIOUS window —
+  // this window's final placement is only decided after its misses are
+  // resolved (the wrapped engine may still re-seed or refine). That is
+  // the honest information order of a real controller: eviction happens
+  // before re-placement.
+  const core::Placement* placement =
+      engine_.placed() ? &engine_.placement() : nullptr;
+
+  frame_block_.clear();
+  for (const trace::Access& access : window_) {
+    ++tick_;
+    ++running_.accesses;
+    const std::uint32_t variable = access.variable;
+    std::uint32_t frame = frame_of_[variable];
+    if (frame != kNoFrame) {
+      ++running_.hits;
+      FrameInfo& info = frames_[frame];
+      info.last_use = tick_;
+      ++info.uses;
+      if (access.type == trace::AccessType::kWrite) info.dirty = true;
+      if (config_.record_events) {
+        events_.push_back({tick_, variable, frame, CacheEvent::Kind::kHit,
+                           kNoFrame, false});
+      }
+    } else {
+      frame = ResolveMiss(variable, access.type);
+    }
+    --remaining_uses_[variable];
+    frame_pending_[frame] = remaining_uses_[variable];
+    frame_block_.push_back({frame, access.type});
+    if (placement != nullptr && placement->IsPlaced(frame)) {
+      const core::Slot slot = placement->SlotOf(frame);
+      last_offsets_[slot.dbc] = static_cast<std::int64_t>(slot.offset);
+    }
+  }
+  window_.clear();
+
+  engine_.Feed(std::span<const trace::Access>(frame_block_));
+  // A full frame_block_ was already decided and served inside Feed; a
+  // partial one is forced out here so the wrapped window boundaries
+  // stay 1:1 with logical windows (and the pre-serve hook runs).
+  engine_.FlushWindow();
+}
+
+std::uint32_t CacheEngine::ResolveMiss(std::uint32_t variable,
+                                       trace::AccessType type) {
+  ++running_.misses;
+  const std::uint32_t owner = owner_of_[variable];
+  const bool scoped = owner < owner_quota_.size() &&
+                      owner_quota_[owner] != 0 &&
+                      owner_resident_[owner] >= owner_quota_[owner];
+  candidates_scratch_.clear();
+  for (std::uint32_t f = 0; f < frames_.size(); ++f) {
+    if (frames_[f].occupant == kNoFrame) continue;
+    if (scoped && frames_[f].owner != owner) continue;
+    candidates_scratch_.push_back(f);
+  }
+  if (candidates_scratch_.empty()) {
+    throw std::logic_error("CacheEngine: miss with no eviction candidates");
+  }
+
+  EvictionContext ctx;
+  ctx.candidates = candidates_scratch_;
+  ctx.frames = frames_;
+  ctx.placement = engine_.placed() ? &engine_.placement() : nullptr;
+  ctx.last_offsets = last_offsets_;
+  ctx.pending_uses = frame_pending_;
+  ctx.tick = tick_;
+  const std::uint32_t victim = policy_->PickVictim(ctx);
+  if (victim >= frames_.size() ||
+      std::find(candidates_scratch_.begin(), candidates_scratch_.end(),
+                victim) == candidates_scratch_.end()) {
+    throw std::logic_error(
+        "CacheEngine: eviction policy picked a non-candidate frame");
+  }
+
+  FrameInfo& info = frames_[victim];
+  const std::uint32_t evicted = info.occupant;
+  const bool wrote_back = info.dirty;
+  if (wrote_back) {
+    ++running_.writebacks;
+    backing_.RecordWriteback();
+    pending_writeback_frames_.push_back(victim);
+  }
+  ++running_.fills;
+  backing_.RecordFill();
+  pending_fill_frames_.push_back(victim);
+
+  frame_of_[evicted] = kNoFrame;
+  frame_of_[variable] = victim;
+  --owner_resident_[info.owner];
+  ++owner_resident_[owner];
+  info.occupant = variable;
+  info.owner = owner;
+  info.dirty = type == trace::AccessType::kWrite;
+  info.last_use = tick_;
+  info.uses = 1;
+  info.admitted = tick_;
+  if (config_.record_events) {
+    events_.push_back(
+        {tick_, variable, victim, CacheEvent::Kind::kMiss, evicted,
+         wrote_back});
+  }
+  return victim;
+}
+
+void CacheEngine::ExecutePendingFills(const core::Placement& placement,
+                                      rtm::RtmController& controller) {
+  if (pending_writeback_frames_.empty() && pending_fill_frames_.empty()) {
+    return;
+  }
+  fill_requests_.clear();
+  const auto sweep = [this, &placement](
+                         const std::vector<std::uint32_t>& frames,
+                         trace::AccessType type) {
+    if (frames.empty()) return;
+    slot_scratch_.clear();
+    for (const std::uint32_t frame : frames) {
+      // Frames are pre-registered, so every frame is placed from window
+      // 0 on; the guard only shields a hook fired before any placement.
+      if (!placement.IsPlaced(frame)) continue;
+      slot_scratch_.push_back(placement.SlotOf(frame));
+    }
+    std::sort(slot_scratch_.begin(), slot_scratch_.end(), SlotSweepOrder);
+    (void)online::AppendSweepRequests(slot_scratch_, type, fill_requests_);
+  };
+  // Victims drain first (reads), then the incoming words land (writes) —
+  // the order a migration buffer would use; each phase is one ascending-
+  // offset sweep per DBC.
+  sweep(pending_writeback_frames_, trace::AccessType::kRead);
+  sweep(pending_fill_frames_, trace::AccessType::kWrite);
+  pending_writeback_frames_.clear();
+  pending_fill_frames_.clear();
+  if (fill_requests_.empty()) return;
+
+  const std::uint64_t before = controller.stats().shifts;
+  controller.ExecuteBatch(fill_requests_);
+  running_.fill_shifts += controller.stats().shifts - before;
+  running_.fill_accesses += fill_requests_.size();
+}
+
+CacheResult CacheEngine::Finish() {
+  if (finished_) {
+    throw std::logic_error("CacheEngine: Finish called twice");
+  }
+  ResolveWindow();
+  // A never-fed session still registers the pool so the wrapped engine
+  // places it, mirroring the static path on empty sequences.
+  RegisterFramePool();
+  CacheResult result;
+  result.online = engine_.Finish();
+  result.cache = stats();
+  result.events = std::move(events_);
+  finished_ = true;
+  return result;
+}
+
+CacheStats CacheEngine::stats() const {
+  CacheStats out = running_;
+  out.backing_ns = backing_.busy_ns();
+  out.backing_pj = backing_.energy_pj();
+  return out;
+}
+
+std::size_t CacheEngine::resident() const noexcept {
+  std::size_t count = 0;
+  for (const FrameInfo& frame : frames_) {
+    if (frame.occupant != kNoFrame) ++count;
+  }
+  return count;
+}
+
+CacheResult RunCache(const trace::AccessSequence& seq,
+                     const CacheConfig& config, const rtm::RtmConfig& device) {
+  CacheConfig resolved = config;
+  resolved.capacity_slots = ResolveCapacity(config, seq.num_variables());
+  CacheEngine engine(std::move(resolved), device);
+  for (trace::VariableId v = 0;
+       v < static_cast<trace::VariableId>(seq.num_variables()); ++v) {
+    (void)engine.RegisterVariable(seq.name_of(v));
+  }
+  engine.Feed(seq.accesses());
+  return engine.Finish();
+}
+
+}  // namespace rtmp::cache

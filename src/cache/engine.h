@@ -1,0 +1,299 @@
+// Hybrid-memory mode: the racetrack device as a managed cache tier.
+//
+// Everywhere else in this repository the device is large enough for the
+// whole variable space. This engine drops that assumption: the device
+// holds a bounded RESIDENT SET of `capacity_slots` frames, and the rest
+// of the working set lives in a modeled backing store (backing_store.h).
+// Logical variables map onto frames through a cache directory:
+//
+//  * A hit is an access to a resident variable — it flows into the
+//    wrapped online::OnlineEngine unchanged (as an access to the
+//    variable's frame) and costs exactly what it always cost.
+//  * A miss picks a victim frame via a pluggable EvictionPolicy
+//    (eviction.h), writes the victim back if dirty, fills the newcomer
+//    from the backing store, and then serves the access from the frame.
+//
+// The device side of evictions and fills is planned as the same
+// ascending-offset per-DBC sweeps a migration buffer would issue
+// (online::AppendSweepRequests) and executed on the wrapped engine's
+// live controller through its pre-serve hook — after the window's
+// placement is final, before its service traffic. Everything therefore
+// lands on ONE controller timeline and the totals decompose exactly:
+//
+//    online.stats.shifts == online.service_shifts
+//                         + online.migration_shifts
+//                         + cache.fill_shifts
+//
+// (pinned by tests/cache_property_test.cpp). The backing store's own
+// latency and energy are accounted in CacheStats, not on the device
+// timeline.
+//
+// Oracle property (pinned by tests/cache_engine_test.cpp): with
+// capacity >= the variable count, every variable is admitted at
+// registration, the directory is the identity map, no miss ever occurs,
+// and the run is bit-identical to the bare OnlineEngine on every
+// counter — the cache tier costs nothing when it does nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/backing_store.h"
+#include "cache/eviction.h"
+#include "online/engine.h"
+#include "rtm/config.h"
+
+namespace rtmp::cache {
+
+struct CacheConfig {
+  /// Eviction policy registry name (see cache/eviction.h).
+  std::string eviction = "cache-lru";
+  /// Resident-set size as a fraction of the variable count; used by
+  /// ResolveCapacity when capacity_slots is 0. 1.0 = whole working set
+  /// resident (the oracle configuration).
+  double capacity_ratio = 1.0;
+  /// Explicit resident-set size in frames; 0 = derive from
+  /// capacity_ratio. The engine constructor requires the RESOLVED value
+  /// (> 0) — callers with a known variable count use ResolveCapacity.
+  std::size_t capacity_slots = 0;
+  BackingStoreConfig backing{};
+  /// The wrapped adaptive engine (window size, detector, re-seed
+  /// strategy, controller mode, ...). The cache engine batches its
+  /// misses per wrapped-engine window, so `engine.window_accesses` is
+  /// also the miss-resolution granularity.
+  online::OnlineConfig engine{};
+  /// Seed for randomized eviction policies (cache-sample).
+  std::uint64_t eviction_seed = 0;
+  /// Record a CacheEvent per access (tests and the explorer CLI; off in
+  /// experiment runs — the stream is O(accesses)).
+  bool record_events = false;
+};
+
+/// config.capacity_slots if explicit, else ceil(capacity_ratio *
+/// num_variables), at least 1. Throws std::invalid_argument when the
+/// ratio is non-finite or <= 0 while it is being relied on.
+[[nodiscard]] std::size_t ResolveCapacity(const CacheConfig& config,
+                                          std::size_t num_variables);
+
+/// Cache-tier counters. Device-side fill traffic (fill_shifts,
+/// fill_accesses) is measured on the wrapped controller; backing_ns /
+/// backing_pj are the far side of the same transfers (see
+/// backing_store.h).
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t writebacks = 0;
+  /// Device shifts spent on eviction/fill sweeps (excluded from the
+  /// wrapped engine's service_shifts and migration_shifts).
+  std::uint64_t fill_shifts = 0;
+  /// Device requests issued by those sweeps (one read per writeback,
+  /// one write per fill).
+  std::uint64_t fill_accesses = 0;
+  /// Backing-store transfer time; serial penalty on top of the device
+  /// makespan.
+  double backing_ns = 0.0;
+  /// Backing-store transfer energy.
+  double backing_pj = 0.0;
+};
+
+/// One classified access, for event-stream differential tests and the
+/// explorer CLI.
+struct CacheEvent {
+  enum class Kind : std::uint8_t { kHit, kMiss };
+  /// 1-based engine tick of the access.
+  std::uint64_t tick = 0;
+  /// Logical variable accessed.
+  std::uint32_t variable = 0;
+  /// Frame that served the access (the victim's frame on a miss).
+  std::uint32_t frame = 0;
+  Kind kind = Kind::kHit;
+  /// Logical variable evicted to make room; kNoFrame on a hit.
+  std::uint32_t evicted = kNoFrame;
+  /// The eviction wrote the victim back (it was dirty).
+  bool wrote_back = false;
+
+  friend bool operator==(const CacheEvent&, const CacheEvent&) = default;
+};
+
+struct CacheResult {
+  CacheStats cache{};
+  online::OnlineResult online{};
+  /// Populated only under CacheConfig::record_events.
+  std::vector<CacheEvent> events;
+};
+
+/// One streaming cache session: register variables, feed accesses,
+/// Finish(). Mirrors online::OnlineEngine's session shape; holds the
+/// directory, one logical window, and the wrapped engine — never the
+/// whole trace.
+class CacheEngine {
+ public:
+  /// Requires a RESOLVED capacity (config.capacity_slots > 0; see
+  /// ResolveCapacity) and a registered eviction policy; throws
+  /// std::invalid_argument otherwise. The wrapped engine's variable
+  /// space is the frame pool, registered at the first window in id
+  /// order — each frame under its then-occupant's logical name (see
+  /// RegisterFramePool) — so frame ids and wrapped-engine variable ids
+  /// coincide.
+  CacheEngine(CacheConfig config, rtm::RtmConfig device);
+
+  CacheEngine(const CacheEngine&) = delete;
+  CacheEngine& operator=(const CacheEngine&) = delete;
+
+  /// Registers a logical variable (idempotent per name; returns its id).
+  /// The first `capacity()` registered variables are admitted to frames
+  /// immediately and for free — the initial resident set, mirroring the
+  /// uncached mode's "everything starts on-device" assumption. `owner`
+  /// tags the variable's tenant for quota-scoped eviction (serve layer);
+  /// single-tenant callers leave it 0. Re-registering an existing name
+  /// returns the existing id and ignores `owner`.
+  std::uint32_t RegisterVariable(std::string_view name,
+                                 std::uint32_t owner = 0);
+
+  /// Caps `owner`'s resident frames at `quota` (0 = unlimited). While an
+  /// owner is at or over its quota, its misses evict among its OWN
+  /// frames only; under quota they evict device-wide. Quotas only
+  /// constrain misses — the free admissions at registration are exempt
+  /// (the serve layer sizes shards so initial admissions respect them).
+  void SetOwnerQuota(std::uint32_t owner, std::size_t quota);
+
+  /// Appends one access, registering `name` on first appearance.
+  void Feed(std::string_view name, trace::AccessType type);
+
+  /// Appends one access to a previously registered variable
+  /// (std::out_of_range otherwise). A full logical window is resolved
+  /// (classified, evicted/filled, handed to the wrapped engine) before
+  /// the call returns.
+  void Feed(std::uint32_t variable, trace::AccessType type);
+
+  /// Batched feed over pre-registered ids; resolves every window
+  /// boundary the block crosses. Bit-identical to the per-access loop.
+  /// `id_offset` is added to every access's variable id — how the serve
+  /// layer remaps tenant-local ids into the shard's space (mirrors
+  /// online::OnlineEngine::Feed's offset parameter).
+  void Feed(std::span<const trace::Access> accesses,
+            std::uint32_t id_offset = 0);
+
+  /// Forces a window boundary now: the buffered partial window is
+  /// resolved and handed to the wrapped engine, which also flushes. The
+  /// serve layer closes every arbitration turn with this. No-op on an
+  /// empty buffer. Throws std::logic_error after Finish().
+  void FlushWindow();
+
+  /// Flushes the trailing partial window and returns the combined
+  /// result. The engine cannot be fed afterwards.
+  [[nodiscard]] CacheResult Finish();
+
+  /// Cache counters so far (backing-store terms folded in live).
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Resident-set size in frames.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return frames_.size();
+  }
+
+  /// Frames currently holding a variable — always <= capacity(), and
+  /// equal to min(variables_seen(), capacity()) once any access flowed.
+  [[nodiscard]] std::size_t resident() const noexcept;
+
+  /// Logical variables registered so far.
+  [[nodiscard]] std::size_t variables_seen() const noexcept {
+    return names_.size();
+  }
+
+  /// Wrapped-engine window records (one per resolved window).
+  [[nodiscard]] const std::vector<online::WindowRecord>& Windows()
+      const noexcept {
+    return engine_.Windows();
+  }
+
+  /// Live controller view (service + migration + fill traffic).
+  [[nodiscard]] const rtm::ControllerStats& DeviceStats() const noexcept {
+    return engine_.DeviceStats();
+  }
+
+  [[nodiscard]] rtm::EnergyBreakdown DeviceEnergy() const {
+    return engine_.DeviceEnergy();
+  }
+
+ private:
+  /// One-shot registration of the frame pool in the wrapped engine,
+  /// deferred to the first window so every frame can carry its
+  /// occupant's logical name — the reseed strategies tie-break on
+  /// names, and matching them is what keeps the full-capacity oracle
+  /// bit-identical to a bare engine.
+  void RegisterFramePool();
+  /// Classifies the buffered window's accesses, resolves its misses
+  /// (victim selection, directory update, pending sweep bookkeeping) and
+  /// hands the frame-mapped block to the wrapped engine.
+  void ResolveWindow();
+  /// Handles one miss of `variable` (owned by its registered owner);
+  /// returns the frame it was filled into.
+  std::uint32_t ResolveMiss(std::uint32_t variable, trace::AccessType type);
+  /// Pre-serve hook body: executes the pending eviction/fill sweeps on
+  /// the wrapped controller under the window's final placement.
+  void ExecutePendingFills(const core::Placement& placement,
+                           rtm::RtmController& controller);
+
+  CacheConfig config_;
+  online::OnlineEngine engine_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  BackingStoreModel backing_;
+
+  // Logical variable table. `ids_` is lookup-only (find/emplace, never
+  // iterated): hash order must not leak into anything observable;
+  // `names_` is the deterministic registration-ordered view.
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  /// variable -> resident frame, kNoFrame while evicted/never admitted.
+  std::vector<std::uint32_t> frame_of_;
+  /// variable -> owning tenant.
+  std::vector<std::uint32_t> owner_of_;
+
+  // Frame pool and per-owner residency.
+  std::vector<FrameInfo> frames_;
+  std::vector<std::size_t> owner_resident_;
+  std::vector<std::size_t> owner_quota_;
+
+  // Current logical window.
+  std::vector<trace::Access> window_;
+  /// Frame-mapped image of `window_`, fed to the wrapped engine.
+  std::vector<trace::Access> frame_block_;
+  /// variable -> accesses of it left in the window being resolved.
+  std::vector<std::uint64_t> remaining_uses_;
+  /// frame -> remaining window uses of its occupant (EvictionContext).
+  std::vector<std::uint64_t> frame_pending_;
+  /// Per-DBC offset of the window's latest routed access (-1 untouched).
+  std::vector<std::int64_t> last_offsets_;
+  /// Frames awaiting a writeback / fill sweep in the next hook run. A
+  /// frame may legitimately appear several times (churn within one
+  /// window): each occurrence is one transfer.
+  std::vector<std::uint32_t> pending_writeback_frames_;
+  std::vector<std::uint32_t> pending_fill_frames_;
+  /// Victim-candidate and sweep scratch, reused across misses/windows.
+  std::vector<std::uint32_t> candidates_scratch_;
+  std::vector<core::Slot> slot_scratch_;
+  std::vector<rtm::TimedRequest> fill_requests_;
+
+  std::vector<CacheEvent> events_;
+  std::uint64_t tick_ = 0;
+  CacheStats running_{};
+  bool frames_registered_ = false;
+  bool finished_ = false;
+};
+
+/// Convenience: pre-registers the sequence's whole variable space in id
+/// order (capacity resolved against it via ResolveCapacity), feeds every
+/// access, and finishes — the cache-tier mirror of online::RunOnline.
+[[nodiscard]] CacheResult RunCache(const trace::AccessSequence& seq,
+                                   const CacheConfig& config,
+                                   const rtm::RtmConfig& device);
+
+}  // namespace rtmp::cache

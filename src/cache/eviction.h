@@ -1,0 +1,202 @@
+// Eviction policies for the hybrid-memory cache tier: which resident
+// frame to give up when a miss needs room.
+//
+// The cache engine (cache/engine.h) maps logical variables onto a fixed
+// pool of device frames. When an access touches a variable with no
+// frame, the engine asks a policy to pick a victim among the candidate
+// frames, writes the victim back if dirty, and fills the newcomer into
+// the freed frame. Policies are pure victim-selectors: they see frame
+// bookkeeping (recency, frequency, dirtiness, owner), the wrapped
+// engine's current placement, and a summary of the rest of the window
+// (pending uses per frame), and return one frame index. All residency
+// and traffic bookkeeping stays in the engine.
+//
+// Policies may be stateful (cache-sample keeps an RNG) but are used from
+// a single thread per engine; the registry hands out a fresh instance
+// per Create() call rather than caching, precisely so engines never
+// share policy state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/placement.h"
+
+namespace rtmp::cache {
+
+/// Frame index sentinel: "no frame" / "no occupant" marker shared by the
+/// engine and the policies.
+inline constexpr std::uint32_t kNoFrame = static_cast<std::uint32_t>(-1);
+
+/// Per-frame bookkeeping the engine maintains and policies read.
+struct FrameInfo {
+  /// Logical variable currently resident in this frame; kNoFrame while
+  /// the frame has never been admitted to (cannot happen once misses
+  /// start: admission fills frames before eviction begins).
+  std::uint32_t occupant = kNoFrame;
+  /// The resident word differs from the backing copy (a write landed
+  /// since the fill); evicting it costs a writeback.
+  bool dirty = false;
+  /// Engine tick of the occupant's most recent access.
+  std::uint64_t last_use = 0;
+  /// Total accesses the occupant has received while resident.
+  std::uint64_t uses = 0;
+  /// Tick at which the current occupant was admitted.
+  std::uint64_t admitted = 0;
+  /// Owning tenant index (serve composition); 0 in single-tenant use.
+  std::uint32_t owner = 0;
+};
+
+/// Everything a policy may consult when picking a victim. Spans point
+/// into engine-owned storage and are valid only for the duration of the
+/// PickVictim call.
+struct EvictionContext {
+  /// Frame indices the victim must come from (never empty). Usually all
+  /// frames; under per-tenant quotas, the over-quota tenant's frames.
+  std::span<const std::uint32_t> candidates;
+  /// Bookkeeping for ALL frames, indexed by frame id.
+  std::span<const FrameInfo> frames;
+  /// The wrapped engine's live placement of frames onto the device, or
+  /// nullptr before the first window has been placed. Frame f's slot is
+  /// placement->SlotOf(f) when placement->IsPlaced(f).
+  const core::Placement* placement = nullptr;
+  /// Per-DBC offset of the most recent access the engine routed there
+  /// this window, -1 for DBCs untouched so far — a proxy for where each
+  /// DBC's port alignment sits, so shift-aware policies can price the
+  /// eviction sweep. Indexed by DBC id; empty before the first window.
+  std::span<const std::int64_t> last_offsets;
+  /// Remaining accesses to each frame's occupant in the current window
+  /// (indexed by frame id). A frame with pending uses will miss again
+  /// this very window if evicted now.
+  std::span<const std::uint64_t> pending_uses;
+  /// Engine tick of the access that triggered the miss.
+  std::uint64_t tick = 0;
+};
+
+/// Self-description of a registered eviction policy.
+struct EvictionPolicyInfo {
+  /// Registry key: lowercase, unique ("cache-lru", ...).
+  std::string name;
+  /// One-line human-readable description for listings and docs.
+  std::string summary;
+};
+
+/// Abstract victim selector. One instance serves one engine; PickVictim
+/// is non-const so policies may keep state (sampling RNGs, decayed
+/// counters). Must return one of ctx.candidates.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  [[nodiscard]] virtual const EvictionPolicyInfo& Describe()
+      const noexcept = 0;
+
+  /// Picks the frame to evict. `ctx.candidates` is never empty; the
+  /// engine validates the returned frame is among them and throws
+  /// std::logic_error otherwise (a policy bug, not an input error).
+  [[nodiscard]] virtual std::uint32_t PickVictim(
+      const EvictionContext& ctx) = 0;
+};
+
+/// Name -> factory registry for eviction policies. Same shape and
+/// discipline as online::OnlinePolicyRegistry (lowercase keys, sorted
+/// flat vector, process-wide name arbitration via
+/// core::RegistryNamespace), with one deliberate difference: Create()
+/// builds a FRESH instance every call instead of caching — eviction
+/// policies are stateful per engine.
+class EvictionPolicyRegistry {
+ public:
+  /// `seed` feeds randomized policies (cache-sample); deterministic
+  /// policies ignore it.
+  using Factory =
+      std::function<std::unique_ptr<EvictionPolicy>(std::uint64_t seed)>;
+
+  EvictionPolicyRegistry() = default;
+  EvictionPolicyRegistry(const EvictionPolicyRegistry&) = delete;
+  EvictionPolicyRegistry& operator=(const EvictionPolicyRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-in policies
+  /// (see RegisterBuiltinEvictionPolicies).
+  [[nodiscard]] static EvictionPolicyRegistry& Global();
+
+  /// Registers `factory` under `info.name` (normalized to lowercase).
+  /// Throws std::invalid_argument on an empty or ill-charset name
+  /// (outside [a-z0-9._-]), a duplicate, or a null factory.
+  void Register(EvictionPolicyInfo info, Factory factory);
+
+  /// Marks this instance as an owner in the process-wide registry-name
+  /// space (core/registry_namespace.h); Global() enables it ("cache
+  /// eviction policy"), fresh test instances leave it off.
+  void ClaimCellNamespace(const char* kind) noexcept {
+    namespace_kind_ = kind;
+  }
+
+  /// A fresh instance of the policy registered under `name`; nullptr if
+  /// unknown.
+  [[nodiscard]] std::unique_ptr<EvictionPolicy> Create(
+      std::string_view name, std::uint64_t seed) const;
+
+  /// Metadata of the policy registered under `name`; nullopt if unknown.
+  [[nodiscard]] std::optional<EvictionPolicyInfo> Describe(
+      std::string_view name) const;
+
+  [[nodiscard]] bool Contains(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    EvictionPolicyInfo info;
+    Factory factory;
+  };
+
+  /// Requires mutex_ to be held by the caller.
+  [[nodiscard]] const Entry* FindEntry(const std::string& key) const;
+
+  mutable std::mutex mutex_;
+  // Sorted by key; small enough (a handful of policies) that a flat
+  // vector beats a map.
+  std::vector<std::pair<std::string, Entry>> entries_;
+  /// Non-null only for Global() (see ClaimCellNamespace).
+  const char* namespace_kind_ = nullptr;
+};
+
+/// Registers the built-in policies into `registry`:
+///
+///   cache-lru          evict the least recently used frame;
+///   cache-lfu          evict the least frequently used frame (recency,
+///                      then id, break ties);
+///   cache-sample       zsim-style sampled LRU: draw K=5 candidate
+///                      frames with the policy's own RNG, evict the
+///                      least recently used of the sample — O(K) per
+///                      miss regardless of capacity;
+///   cache-shift-aware  rank an LRU-ordered shortlist by a placement-
+///                      aware score: prefer victims with no pending uses
+///                      this window, then the victim whose slot is
+///                      closest to its DBC's last serviced offset (the
+///                      cheapest eviction sweep under the cost model's
+///                      first-access-free convention), then recency.
+///
+/// Global() calls this once; tests use it to build fresh registries.
+void RegisterBuiltinEvictionPolicies(EvictionPolicyRegistry& registry);
+
+/// RAII self-registration into the Global() registry, for policies
+/// defined outside this library. Same linker caveat as
+/// core::StrategyRegistrar: keep registrars in a translation unit that
+/// is otherwise linked in.
+struct EvictionPolicyRegistrar {
+  EvictionPolicyRegistrar(EvictionPolicyInfo info,
+                          EvictionPolicyRegistry::Factory factory);
+};
+
+}  // namespace rtmp::cache

@@ -343,6 +343,7 @@ void OnlineEngine::ProcessWindowFromSpan(std::span<const trace::Access> block,
   // Counter parity with the buffered path: kNone ignores the summary but
   // still counts the window.
   (void)detector_.Observe(TransitionSummary{});
+  if (pre_serve_hook_) pre_serve_hook_(placement_, controller_);
   ServeWindow(record, block, id_offset);
   record.latency_ns = controller_.stats().makespan_ns - makespan_before;
   result_.windows.push_back(record);
@@ -419,6 +420,10 @@ void OnlineEngine::ProcessWindow() {
       (void)Refine(record);
     }
   }
+
+  // The placement is final for this window: let the cache tier land its
+  // evict+fill traffic before service (see SetPreServeHook).
+  if (pre_serve_hook_) pre_serve_hook_(placement_, controller_);
 
   // ServeWindow prices the window (record.window_cost) fused into its
   // request-building pass and books it into result_.placement_cost.

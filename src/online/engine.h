@@ -214,6 +214,32 @@ class OnlineEngine {
   /// std::logic_error after Finish().
   void FlushWindow();
 
+  /// Called once per processed window, after the window's placement is
+  /// final (post re-seed / refinement / migration) and before the
+  /// window's service traffic is issued, with the placement the window
+  /// will be served under and the engine's live controller. The cache
+  /// tier (cache/engine.h) executes its planned evict+fill sweeps here:
+  /// the traffic lands between migration and service on the controller
+  /// timeline, inside the window's latency_ns, and pollutes neither
+  /// service_shifts nor migration_shifts — which is what lets fill
+  /// shifts be accounted as their own term of the device-total
+  /// decomposition. The hook runs on the buffered AND the direct-span
+  /// window paths. Replacing the hook mid-session is allowed; pass
+  /// nullptr to clear.
+  using PreServeHook =
+      std::function<void(const core::Placement&, rtm::RtmController&)>;
+  void SetPreServeHook(PreServeHook hook) {
+    pre_serve_hook_ = std::move(hook);
+  }
+
+  /// The placement currently serving traffic; meaningful once placed()
+  /// (window 0 has been decided). The cache tier peeks slots through
+  /// this for shift-aware victim ranking.
+  [[nodiscard]] const core::Placement& placement() const noexcept {
+    return placement_;
+  }
+  [[nodiscard]] bool placed() const noexcept { return placed_; }
+
   /// Flushes the trailing partial window and returns the run's result.
   /// A session that never saw an access still runs the re-seed strategy
   /// once over the (possibly empty) variable space, mirroring the static
@@ -276,6 +302,7 @@ class OnlineEngine {
   rtm::RtmConfig device_config_;
   rtm::RtmController controller_;
   PhaseDetector detector_;
+  PreServeHook pre_serve_hook_;
   /// The rolling window buffer: the variable space accumulates across
   /// the session (ids are feed order), the accesses are the CURRENT
   /// window only (cleared after each ProcessWindow) — no per-window

@@ -9,14 +9,9 @@
 
 namespace rtmp::online {
 
-namespace {
-
-/// Appends one ascending-offset sweep per DBC over `slots` and returns
-/// its first-access-free shift estimate. `slots` must already be sorted
-/// by (dbc, offset).
-std::uint64_t AppendSweep(const std::vector<core::Slot>& slots,
-                          trace::AccessType type,
-                          std::vector<rtm::TimedRequest>& requests) {
+std::uint64_t AppendSweepRequests(std::span<const core::Slot> slots,
+                                  trace::AccessType type,
+                                  std::vector<rtm::TimedRequest>& requests) {
   std::uint64_t shifts = 0;
   for (std::size_t i = 0; i < slots.size(); ++i) {
     if (i > 0 && slots[i].dbc == slots[i - 1].dbc) {
@@ -27,8 +22,6 @@ std::uint64_t AppendSweep(const std::vector<core::Slot>& slots,
   }
   return shifts;
 }
-
-}  // namespace
 
 MigrationPlan PlanMigration(const core::Placement& from,
                             const core::Placement& to) {
@@ -65,7 +58,7 @@ MigrationPlan PlanMigration(const core::Placement& from,
   for (const MigrationMove& move : plan.moves) slots.push_back(move.from);
   plan.requests.reserve(2 * plan.moves.size());
   plan.estimated_shifts +=
-      AppendSweep(slots, trace::AccessType::kRead, plan.requests);
+      AppendSweepRequests(slots, trace::AccessType::kRead, plan.requests);
 
   // ... then the buffered words are written in target-DBC sweeps.
   slots.clear();
@@ -76,7 +69,7 @@ MigrationPlan PlanMigration(const core::Placement& from,
               return a.offset < b.offset;
             });
   plan.estimated_shifts +=
-      AppendSweep(slots, trace::AccessType::kWrite, plan.requests);
+      AppendSweepRequests(slots, trace::AccessType::kWrite, plan.requests);
   return plan;
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/cost_model.h"
@@ -51,6 +52,17 @@ struct MigrationPlan {
 
   [[nodiscard]] bool empty() const noexcept { return moves.empty(); }
 };
+
+/// Appends one ascending-offset sweep per DBC over `slots` to `requests`
+/// — one request of `type` per slot, arrivals 0 — and returns the
+/// sweep's first-access-free shift estimate. `slots` must already be
+/// sorted by (dbc, offset). This is the ordering building block
+/// PlanMigration's read and write phases are made of; it is public so
+/// the cache tier (cache/engine.h) plans its evict+fill traffic as the
+/// same kind of sweeps a migration buffer would issue.
+std::uint64_t AppendSweepRequests(std::span<const core::Slot> slots,
+                                  trace::AccessType type,
+                                  std::vector<rtm::TimedRequest>& requests);
 
 /// Diffs `to` against `from` and plans the realizing traffic. The two
 /// placements must cover the same variable space; a variable placed in

@@ -40,6 +40,23 @@ OnlineConfig CellOnlineConfig(const OnlinePolicy& policy,
   return online;
 }
 
+void AccumulateOnlineSequence(const trace::AccessSequence& seq,
+                              std::size_t sequence_index, unsigned dbcs,
+                              const OnlinePolicy& policy,
+                              const sim::ExperimentOptions& options,
+                              std::string_view benchmark_name,
+                              sim::RunResult& run) {
+  if (seq.num_variables() == 0) return;
+  const rtm::RtmConfig config = sim::CellConfig(dbcs, seq.num_variables());
+  const OnlineConfig online = CellOnlineConfig(
+      policy, config, options, benchmark_name, sequence_index, dbcs);
+  const OnlineResult result = RunOnline(seq, online, config);
+  run.placement_cost += result.placement_cost;
+  run.placement_wall_ms += result.placement_wall_ms;
+  run.search_evaluations += result.evaluations;
+  run.metrics.Accumulate(ToSimulationResult(result, config));
+}
+
 sim::RunResult RunOnlineCell(const offsetstone::Benchmark& benchmark,
                              unsigned dbcs, std::string_view policy_name,
                              const sim::ExperimentOptions& options) {
@@ -55,16 +72,8 @@ sim::RunResult RunOnlineCell(const offsetstone::Benchmark& benchmark,
   run.strategy_name = util::ToLower(policy_name);
 
   for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
-    const trace::AccessSequence& seq = benchmark.sequences[s];
-    if (seq.num_variables() == 0) continue;
-    const rtm::RtmConfig config = sim::CellConfig(dbcs, seq.num_variables());
-    const OnlineConfig online = CellOnlineConfig(*policy, config, options,
-                                                 benchmark.name, s, dbcs);
-    const OnlineResult result = RunOnline(seq, online, config);
-    run.placement_cost += result.placement_cost;
-    run.placement_wall_ms += result.placement_wall_ms;
-    run.search_evaluations += result.evaluations;
-    run.metrics.Accumulate(ToSimulationResult(result, config));
+    AccumulateOnlineSequence(benchmark.sequences[s], s, dbcs, *policy,
+                             options, benchmark.name, run);
   }
   return run;
 }

@@ -34,6 +34,18 @@ namespace rtmp::online {
     const offsetstone::Benchmark& benchmark, unsigned dbcs,
     std::string_view policy_name, const sim::ExperimentOptions& options);
 
+/// Accumulates one sequence into `run` (the per-sequence body of
+/// RunOnlineCell); exposed for the streaming trace-cell path, which
+/// delivers sequences one at a time instead of through a materialized
+/// benchmark. `sequence_index` must count DELIVERED sequences including
+/// empty ones — RunOnlineCell's seed derivation does.
+void AccumulateOnlineSequence(const trace::AccessSequence& seq,
+                              std::size_t sequence_index, unsigned dbcs,
+                              const OnlinePolicy& policy,
+                              const sim::ExperimentOptions& options,
+                              std::string_view benchmark_name,
+                              sim::RunResult& run);
+
 /// Aggregate of one OnlineResult in sim terms (the piece RunOnlineCell
 /// accumulates per sequence); exposed for scenarios that run the engine
 /// directly and want matching metrics.

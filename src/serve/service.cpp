@@ -35,7 +35,80 @@ rtm::RtmConfig ShardDeviceConfig(const rtm::RtmConfig& device,
   return shard;
 }
 
+/// Counter-wise a - b: the cache-tier delta of one arbitration turn.
+cache::CacheStats CacheStatsDelta(const cache::CacheStats& a,
+                                  const cache::CacheStats& b) {
+  cache::CacheStats d;
+  d.accesses = a.accesses - b.accesses;
+  d.hits = a.hits - b.hits;
+  d.misses = a.misses - b.misses;
+  d.fills = a.fills - b.fills;
+  d.writebacks = a.writebacks - b.writebacks;
+  d.fill_shifts = a.fill_shifts - b.fill_shifts;
+  d.fill_accesses = a.fill_accesses - b.fill_accesses;
+  d.backing_ns = a.backing_ns - b.backing_ns;
+  d.backing_pj = a.backing_pj - b.backing_pj;
+  return d;
+}
+
+void AddCacheStats(cache::CacheStats& into, const cache::CacheStats& d) {
+  into.accesses += d.accesses;
+  into.hits += d.hits;
+  into.misses += d.misses;
+  into.fills += d.fills;
+  into.writebacks += d.writebacks;
+  into.fill_shifts += d.fill_shifts;
+  into.fill_accesses += d.fill_accesses;
+  into.backing_ns += d.backing_ns;
+  into.backing_pj += d.backing_pj;
+}
+
 }  // namespace
+
+std::uint32_t PlacementService::ShardEngine::RegisterVariable(
+    std::string_view name, std::uint32_t owner) {
+  if (cache != nullptr) return cache->RegisterVariable(name, owner);
+  return online->RegisterVariable(name);
+}
+
+std::size_t PlacementService::ShardEngine::variables_seen() const noexcept {
+  return cache != nullptr ? cache->variables_seen() : online->variables_seen();
+}
+
+void PlacementService::ShardEngine::Feed(std::span<const trace::Access> block,
+                                         std::uint32_t base_id) {
+  if (cache != nullptr) {
+    cache->Feed(block, base_id);
+  } else {
+    online->Feed(block, base_id);
+  }
+}
+
+void PlacementService::ShardEngine::FlushWindow() {
+  if (cache != nullptr) {
+    cache->FlushWindow();
+  } else {
+    online->FlushWindow();
+  }
+}
+
+const std::vector<online::WindowRecord>&
+PlacementService::ShardEngine::Windows() const noexcept {
+  return cache != nullptr ? cache->Windows() : online->Windows();
+}
+
+const rtm::ControllerStats& PlacementService::ShardEngine::DeviceStats()
+    const noexcept {
+  return cache != nullptr ? cache->DeviceStats() : online->DeviceStats();
+}
+
+rtm::EnergyBreakdown PlacementService::ShardEngine::DeviceEnergy() const {
+  return cache != nullptr ? cache->DeviceEnergy() : online->DeviceEnergy();
+}
+
+cache::CacheStats PlacementService::ShardEngine::CacheStatsNow() const {
+  return cache != nullptr ? cache->stats() : cache::CacheStats{};
+}
 
 const char* ToString(AssignmentPolicy policy) noexcept {
   switch (policy) {
@@ -198,8 +271,7 @@ std::size_t PlacementService::OpenSession(
   return sessions_.size() - 1;
 }
 
-void PlacementService::ServeTurn(Session& session,
-                                 online::OnlineEngine& engine,
+void PlacementService::ServeTurn(Session& session, ShardEngine& engine,
                                  TenantStats& stats) {
   budget_.RefillForWindow();
   const trace::AccessSequence& seq = *session.sequence;
@@ -211,6 +283,7 @@ void PlacementService::ServeTurn(Session& session,
 
   const std::uint64_t requests_before = engine.DeviceStats().requests;
   const rtm::EnergyBreakdown energy_before = engine.DeviceEnergy();
+  const cache::CacheStats cache_before = engine.CacheStatsNow();
 
   // The whole quantum goes down as one batched span — one engine call
   // per turn, remapped into the tenant's shard-local id space — instead
@@ -248,6 +321,8 @@ void PlacementService::ServeTurn(Session& session,
   stats.energy.read_write_pj +=
       energy_after.read_write_pj - energy_before.read_write_pj;
   stats.energy.shift_pj += energy_after.shift_pj - energy_before.shift_pj;
+  AddCacheStats(stats.cache,
+                CacheStatsDelta(engine.CacheStatsNow(), cache_before));
 }
 
 ServeResult PlacementService::Run() {
@@ -266,9 +341,15 @@ ServeResult PlacementService::Run() {
 
   // One engine per shard. All controllers point at the one shared
   // channel; the global budget gates every engine's migrations (after a
-  // caller-provided gate, which keeps its veto).
+  // caller-provided gate, which keeps its veto). In hybrid-memory mode
+  // the engine is a cache tier wrapped around the same recipe, its
+  // capacity resolved against the shard's variable population and its
+  // device sized for the CAPACITY — at ratio 1.0 the same device the
+  // plain service would build, which is what keeps the cache oracle
+  // bit-identical.
+  const bool cache_mode = config_.cache.enabled;
   const online::OnlineConfig& recipe = config_.engine;
-  std::vector<std::unique_ptr<online::OnlineEngine>> engines;
+  std::vector<ShardEngine> engines;
   engines.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     online::OnlineConfig engine_config = recipe;
@@ -282,14 +363,32 @@ ServeResult PlacementService::Run() {
           if (user_gate && !user_gate(shifts)) return false;
           return budget_.TryConsume(shifts);
         };
-    engines.push_back(std::make_unique<online::OnlineEngine>(
-        std::move(engine_config),
-        ShardDeviceConfig(device_, config_.num_shards, shard_vars[s])));
+    ShardEngine engine;
+    if (cache_mode) {
+      cache::CacheConfig cc;
+      cc.eviction = config_.cache.eviction;
+      cc.capacity_ratio = config_.cache.capacity_ratio;
+      cc.backing = config_.cache.backing;
+      cc.eviction_seed = online::WindowSeed(config_.cache.eviction_seed, s);
+      cc.engine = std::move(engine_config);
+      cc.capacity_slots = cache::ResolveCapacity(cc, shard_vars[s]);
+      const std::size_t capacity = cc.capacity_slots;
+      engine.cache = std::make_unique<cache::CacheEngine>(
+          std::move(cc),
+          ShardDeviceConfig(device_, config_.num_shards, capacity));
+    } else {
+      engine.online = std::make_unique<online::OnlineEngine>(
+          std::move(engine_config),
+          ShardDeviceConfig(device_, config_.num_shards, shard_vars[s]));
+    }
+    engines.push_back(std::move(engine));
   }
 
   // Pre-register every tenant's variable space shard-major in admission
   // order, names prefixed "<tenant>/": ids stay dense per shard, and a
   // single tenant's ids coincide with its sequence's (oracle property).
+  // In cache mode the tenant is the variable's cache OWNER (session
+  // index), so quota-scoped eviction can tell frames apart by tenant.
   ServeResult result;
   result.tenants.resize(sessions_.size());
   for (std::size_t s = 0; s < shards; ++s) {
@@ -297,13 +396,19 @@ ServeResult PlacementService::Run() {
       Session& session = sessions_[i];
       const trace::AccessSequence& seq = *session.sequence;
       session.base_id =
-          static_cast<trace::VariableId>(engines[s]->variables_seen());
+          static_cast<trace::VariableId>(engines[s].variables_seen());
       for (trace::VariableId v = 0; v < seq.num_variables(); ++v) {
-        (void)engines[s]->RegisterVariable(session.name + "/" +
-                                           seq.name_of(v));
+        (void)engines[s].RegisterVariable(session.name + "/" + seq.name_of(v),
+                                          static_cast<std::uint32_t>(i));
       }
       result.tenants[i].name = session.name;
       result.tenants[i].shard = s;
+    }
+  }
+  if (cache_mode && config_.cache.tenant_quota_slots != 0) {
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      engines[sessions_[i].shard].cache->SetOwnerQuota(
+          static_cast<std::uint32_t>(i), config_.cache.tenant_quota_slots);
     }
   }
 
@@ -322,7 +427,7 @@ ServeResult PlacementService::Run() {
   for (std::size_t turn = arbiter.NextTurn(); turn != ChannelArbiter::kDone;
        turn = arbiter.NextTurn()) {
     Session& session = sessions_[turn];
-    ServeTurn(session, *engines[session.shard], result.tenants[turn]);
+    ServeTurn(session, engines[session.shard], result.tenants[turn]);
     if (session.cursor >= session.sequence->size()) {
       arbiter.Retire(session.shard, turn);
     }
@@ -339,7 +444,13 @@ ServeResult PlacementService::Run() {
     for (const std::size_t i : members[s]) {
       shard.tenants.push_back(sessions_[i].name);
     }
-    shard.result = engines[s]->Finish();
+    if (engines[s].cache != nullptr) {
+      cache::CacheResult finished = engines[s].cache->Finish();
+      shard.result = std::move(finished.online);
+      shard.cache = finished.cache;
+    } else {
+      shard.result = engines[s].online->Finish();
+    }
 
     const online::OnlineResult& r = shard.result;
     result.service_shifts += r.service_shifts;
@@ -356,9 +467,11 @@ ServeResult PlacementService::Run() {
     result.energy.leakage_pj += r.energy.leakage_pj;
     result.energy.read_write_pj += r.energy.read_write_pj;
     result.energy.shift_pj += r.energy.shift_pj;
+    AddCacheStats(result.cache, shard.cache);
     result.shards.push_back(std::move(shard));
   }
-  result.total_shifts = result.service_shifts + result.migration_shifts;
+  result.total_shifts = result.service_shifts + result.migration_shifts +
+                        result.cache.fill_shifts;
   result.budget_granted = budget_.granted();
   result.budget_spent = budget_.spent();
 

@@ -26,13 +26,26 @@
 // one shard with an unlimited budget is bit-identical to a bare
 // OnlineEngine run of the same configuration — same placement decisions,
 // same shift counts, same makespan.
+//
+// Hybrid-memory mode (ServeCacheConfig): each shard's engine can be a
+// cache::CacheEngine instead — the shard device holds a bounded resident
+// set and misses fill from the modeled backing store. Tenants become
+// cache OWNERS (owner id = session index) so a per-tenant resident quota
+// scopes a hot tenant's evictions to its own frames once it is at quota.
+// Per-tenant CacheStats are attributed turn-by-turn exactly like shifts.
+// Cache oracle (also pinned by tests/serve_service_test.cpp): cache mode
+// at capacity_ratio 1.0 with no quotas is bit-identical to the plain
+// service on every counter.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "cache/engine.h"
 #include "online/engine.h"
 #include "rtm/config.h"
 #include "rtm/controller.h"
@@ -139,6 +152,27 @@ class ChannelArbiter {
   unsigned turns_in_shard_ = 0;     ///< turns served in the current hold
 };
 
+/// Cache-tier settings of the service (see header comment). With
+/// `enabled`, every shard runs a cache::CacheEngine whose capacity is
+/// ResolveCapacity(capacity_ratio) of the shard's variable population,
+/// and the shard device is sized for that CAPACITY (capacity_ratio 1.0
+/// reproduces the plain service's devices exactly).
+struct ServeCacheConfig {
+  bool enabled = false;
+  /// Eviction policy registry name (cache/eviction.h).
+  std::string eviction = "cache-lru";
+  /// Shard resident-set size as a fraction of the shard's variables.
+  double capacity_ratio = 1.0;
+  /// Per-tenant resident-frame cap (cache::CacheEngine::SetOwnerQuota);
+  /// 0 = unlimited. Applied to every tenant alike.
+  std::size_t tenant_quota_slots = 0;
+  cache::BackingStoreConfig backing{};
+  /// Base seed for randomized eviction policies; shard s uses
+  /// online::WindowSeed(eviction_seed, s) so shards draw independent
+  /// streams deterministically.
+  std::uint64_t eviction_seed = 0;
+};
+
 struct ServeConfig {
   /// Equal DBC partitions of the device; must divide total_dbcs().
   unsigned num_shards = 1;
@@ -154,6 +188,8 @@ struct ServeConfig {
   /// online::WindowSeed(base, shard) — shard 0 keeps the base seeds
   /// verbatim, preserving the single-shard oracle.
   online::OnlineConfig engine{};
+  /// Hybrid-memory mode; disabled by default (plain shard engines).
+  ServeCacheConfig cache{};
 };
 
 /// Everything attributed to one tenant across its turns.
@@ -164,7 +200,8 @@ struct TenantStats {
   std::uint64_t reads = 0;   ///< service reads fed by this tenant
   std::uint64_t writes = 0;  ///< service writes fed by this tenant
   /// Controller requests issued during this tenant's turns (service plus
-  /// migration traffic its windows triggered).
+  /// migration traffic its windows triggered, plus cache fill sweeps in
+  /// hybrid-memory mode).
   std::uint64_t device_requests = 0;
   std::uint64_t service_shifts = 0;
   std::uint64_t migration_shifts = 0;
@@ -183,6 +220,11 @@ struct TenantStats {
   /// Energy delta across the tenant's turns (leakage follows makespan
   /// advance, so shared-channel waits are charged to the waiting tenant).
   rtm::EnergyBreakdown energy{};
+  /// Cache-tier counters across the tenant's turns (zeros when the
+  /// cache tier is disabled). A miss is charged to the tenant whose
+  /// turn triggered it, even when the quota let it evict another
+  /// tenant's frame.
+  cache::CacheStats cache{};
 
   [[nodiscard]] double mean_window_latency_ns() const noexcept {
     if (windows == 0) return 0.0;
@@ -197,6 +239,8 @@ struct ShardStats {
   unsigned num_dbcs = 0;
   std::vector<std::string> tenants;  ///< names, admission order
   online::OnlineResult result;
+  /// Cache-tier counters of this shard's engine (zeros when disabled).
+  cache::CacheStats cache{};
 };
 
 /// The service's aggregate view of one Run().
@@ -205,9 +249,13 @@ struct ServeResult {
   std::vector<ShardStats> shards;
   std::uint64_t service_shifts = 0;
   std::uint64_t migration_shifts = 0;
-  /// service + migration — the device total; per-tenant service and
-  /// migration shifts sum to it exactly.
+  /// service + migration + cache fill — the device total; per-tenant
+  /// service and migration shifts plus cache.fill_shifts sum to it
+  /// exactly.
   std::uint64_t total_shifts = 0;
+  /// Cache-tier totals over all shards (zeros when disabled); the
+  /// per-tenant CacheStats sum to it exactly.
+  cache::CacheStats cache{};
   std::uint64_t reads = 0;   ///< incl. migration reads
   std::uint64_t writes = 0;  ///< incl. migration writes
   std::size_t migrations = 0;
@@ -266,11 +314,30 @@ class PlacementService {
     std::size_t cursor = 0;  ///< next un-fed access
   };
 
+  /// One shard's engine: the bare adaptive engine, or — in hybrid-memory
+  /// mode — the cache tier wrapped around one. Exactly one member is
+  /// set; the forwarders give ServeTurn a single shape for both.
+  struct ShardEngine {
+    std::unique_ptr<online::OnlineEngine> online;
+    std::unique_ptr<cache::CacheEngine> cache;
+
+    std::uint32_t RegisterVariable(std::string_view name,
+                                   std::uint32_t owner);
+    [[nodiscard]] std::size_t variables_seen() const noexcept;
+    void Feed(std::span<const trace::Access> block, std::uint32_t base_id);
+    void FlushWindow();
+    [[nodiscard]] const std::vector<online::WindowRecord>& Windows()
+        const noexcept;
+    [[nodiscard]] const rtm::ControllerStats& DeviceStats() const noexcept;
+    [[nodiscard]] rtm::EnergyBreakdown DeviceEnergy() const;
+    /// Live cache counters; all-zero in plain mode.
+    [[nodiscard]] cache::CacheStats CacheStatsNow() const;
+  };
+
   [[nodiscard]] std::size_t AssignShard(std::string_view name,
                                         const trace::AccessSequence& sequence);
   /// Feeds one window batch of `session` and attributes the outcome.
-  void ServeTurn(Session& session, online::OnlineEngine& engine,
-                 TenantStats& stats);
+  void ServeTurn(Session& session, ShardEngine& engine, TenantStats& stats);
 
   ServeConfig config_;
   rtm::RtmConfig device_;

@@ -4,19 +4,25 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "cache/cache_cell.h"
+#include "cache/cache_policy.h"
 #include "core/strategy_registry.h"
 #include "online/online_cell.h"
 #include "online/policy.h"
 #include "serve/serve_cell.h"
 #include "serve/serve_policy.h"
 #include "sim/worker_pool.h"
+#include "trace/trace_stream.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "workloads/phased.h"
 #include "workloads/workload.h"
 
 namespace rtmp::sim {
@@ -30,6 +36,63 @@ unsigned ResolveThreadCount(unsigned requested, std::size_t num_cells) {
   }
   return static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(1, num_cells)));
+}
+
+/// The per-sequence body of a static-strategy cell, shared by RunCell's
+/// materialized loop and the streaming trace path. `sequence_index`
+/// counts delivered sequences including empty ones (the seed
+/// derivation does).
+void AccumulateStaticSequence(const trace::AccessSequence& seq,
+                              std::size_t sequence_index, unsigned dbcs,
+                              const core::PlacementStrategy& runner,
+                              const ExperimentOptions& options,
+                              std::string_view benchmark_name,
+                              RunResult& run) {
+  if (seq.num_variables() == 0) return;
+  const rtm::RtmConfig config = CellConfig(dbcs, seq.num_variables());
+
+  core::PlacementRequest request;
+  request.sequence = &seq;
+  request.num_dbcs = config.total_dbcs();
+  request.capacity = config.domains_per_dbc;
+  request.options.cost.initial_alignment = config.initial_alignment;
+  core::ScaleSearchEffort(request.options, options.search_effort);
+  // Distinct, reproducible seeds per (benchmark, sequence, dbcs) —
+  // independent of which worker thread runs the cell.
+  const std::uint64_t seed =
+      util::HashString(benchmark_name) ^
+      (options.seed + sequence_index * 0x9E3779B9ULL + dbcs);
+  request.options.ga.seed = seed;
+  request.options.rw.seed = seed;
+
+  const core::PlacementResult placed = core::RunTimed(runner, request);
+  run.placement_cost += placed.cost;
+  run.placement_wall_ms += placed.wall_ms;
+  run.search_evaluations += placed.evaluations;
+  run.metrics.Accumulate(Simulate(seq, placed.placement, config));
+}
+
+/// A workload spec the streaming matrix hands to RunStreamedTraceCell:
+/// an on-disk trace file that neither the workload registry nor the
+/// phased combinator claims (ResolveWorkload's exact precedence).
+bool IsStreamableTraceFile(const std::string& spec) {
+  if (workloads::WorkloadRegistry::Global().Contains(spec)) return false;
+  if (workloads::ParsePhasedSpec(spec)) return false;
+  std::error_code ec;
+  return std::filesystem::is_regular_file(std::filesystem::path(spec), ec);
+}
+
+/// The benchmark name a streamed trace cell reports: the file's declared
+/// name, or the file stem — the exact naming TraceFileWorkload uses, so
+/// streamed and materialized cells key identically in ResultTable.
+std::string StreamedBenchmarkName(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("RunStreamedTraceCell: cannot open " + path);
+  }
+  std::string name = trace::PeekTraceBenchmark(in);
+  if (name.empty()) name = std::filesystem::path(path).stem().string();
+  return name;
 }
 
 }  // namespace
@@ -126,20 +189,22 @@ RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
       online::OnlinePolicyRegistry::Global().Contains(strategy_name);
   const bool is_serve =
       serve::ServePolicyRegistry::Global().Contains(strategy_name);
+  const bool is_cache =
+      cache::CachePolicyRegistry::Global().Contains(strategy_name);
   // The registries reject cross-registry collisions at registration
   // (enforced process-wide by core::RegistryNamespace for the Global()
   // instances), but a name registered AFTER its twin would silently
   // shadow it here — refuse to guess which one the caller meant.
-  if ((runner != nullptr) + is_online + is_serve > 1) {
+  if ((runner != nullptr) + is_online + is_serve + is_cache > 1) {
     throw std::invalid_argument(
         "RunCell: '" + std::string(strategy_name) +
-        "' is registered in more than one of the strategy, online-policy "
-        "and serve-policy registries; re-register one under a distinct "
-        "name");
+        "' is registered in more than one of the strategy, online-policy, "
+        "serve-policy and cache-policy registries; re-register one under a "
+        "distinct name");
   }
   if (!runner) {
-    // Online and serve policies share the strategy name space: a miss
-    // here is an online or serve cell when those registries know the
+    // Online, serve and cache policies share the strategy name space: a
+    // miss here is one of their cells when those registries know the
     // name.
     if (is_online) {
       return online::RunOnlineCell(benchmark, dbcs, strategy_name, options);
@@ -147,10 +212,13 @@ RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
     if (is_serve) {
       return serve::RunServeCell(benchmark, dbcs, strategy_name, options);
     }
+    if (is_cache) {
+      return cache::RunCacheCell(benchmark, dbcs, strategy_name, options);
+    }
     throw std::invalid_argument(
         "RunCell: '" + std::string(strategy_name) +
-        "' is neither a registered strategy, an online policy, nor a "
-        "serve policy");
+        "' is neither a registered strategy, an online policy, a serve "
+        "policy, nor a cache policy");
   }
 
   RunResult run;
@@ -163,29 +231,78 @@ RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
   run.strategy = runner->Describe().spec;
 
   for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
-    const trace::AccessSequence& seq = benchmark.sequences[s];
-    if (seq.num_variables() == 0) continue;
-    const rtm::RtmConfig config = CellConfig(dbcs, seq.num_variables());
-
-    core::PlacementRequest request;
-    request.sequence = &seq;
-    request.num_dbcs = config.total_dbcs();
-    request.capacity = config.domains_per_dbc;
-    request.options.cost.initial_alignment = config.initial_alignment;
-    core::ScaleSearchEffort(request.options, options.search_effort);
-    // Distinct, reproducible seeds per (benchmark, sequence, dbcs) —
-    // independent of which worker thread runs the cell.
-    const std::uint64_t seed = util::HashString(benchmark.name) ^
-                               (options.seed + s * 0x9E3779B9ULL + dbcs);
-    request.options.ga.seed = seed;
-    request.options.rw.seed = seed;
-
-    const core::PlacementResult placed = core::RunTimed(*runner, request);
-    run.placement_cost += placed.cost;
-    run.placement_wall_ms += placed.wall_ms;
-    run.search_evaluations += placed.evaluations;
-    run.metrics.Accumulate(Simulate(seq, placed.placement, config));
+    AccumulateStaticSequence(benchmark.sequences[s], s, dbcs, *runner,
+                             options, benchmark.name, run);
   }
+  return run;
+}
+
+RunResult RunStreamedTraceCell(const std::string& path, unsigned dbcs,
+                               std::string_view strategy_name,
+                               const ExperimentOptions& options) {
+  const auto runner = core::StrategyRegistry::Global().Find(strategy_name);
+  const bool is_online =
+      online::OnlinePolicyRegistry::Global().Contains(strategy_name);
+  const bool is_serve =
+      serve::ServePolicyRegistry::Global().Contains(strategy_name);
+  const bool is_cache =
+      cache::CachePolicyRegistry::Global().Contains(strategy_name);
+  if ((runner != nullptr) + is_online + is_serve + is_cache > 1) {
+    throw std::invalid_argument(
+        "RunStreamedTraceCell: '" + std::string(strategy_name) +
+        "' is registered in more than one of the strategy, online-policy, "
+        "serve-policy and cache-policy registries; re-register one under a "
+        "distinct name");
+  }
+  if (is_serve) {
+    // A serve cell arbitrates its tenants' sequences against each other,
+    // so it needs the whole benchmark at once: materialize this one cell.
+    const std::vector<std::string> spec{path};
+    const auto suite = LoadWorkloads(spec, options);
+    return serve::RunServeCell(suite.front(), dbcs, strategy_name, options);
+  }
+  if (runner == nullptr && !is_online && !is_cache) {
+    throw std::invalid_argument(
+        "RunStreamedTraceCell: '" + std::string(strategy_name) +
+        "' is neither a registered strategy, an online policy, a serve "
+        "policy, nor a cache policy");
+  }
+
+  RunResult run;
+  run.benchmark = StreamedBenchmarkName(path);
+  run.dbcs = dbcs;
+  run.strategy_name = util::ToLower(strategy_name);
+  if (runner) run.strategy = runner->Describe().spec;
+
+  const auto online_policy =
+      is_online ? online::OnlinePolicyRegistry::Global().Find(strategy_name)
+                : nullptr;
+  const auto cache_policy =
+      is_cache ? cache::CachePolicyRegistry::Global().Find(strategy_name)
+               : nullptr;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("RunStreamedTraceCell: cannot open " + path);
+  }
+  std::size_t index = 0;
+  const trace::SequenceSink sink = [&](const std::string&,
+                                       trace::AccessSequence seq) {
+    // `index` counts every delivered sequence (empty ones included),
+    // matching the materialized loop's seed derivation.
+    if (runner != nullptr) {
+      AccumulateStaticSequence(seq, index, dbcs, *runner, options,
+                               run.benchmark, run);
+    } else if (online_policy) {
+      online::AccumulateOnlineSequence(seq, index, dbcs, *online_policy,
+                                       options, run.benchmark, run);
+    } else {
+      cache::AccumulateCacheSequence(seq, index, dbcs, *cache_policy, options,
+                                     run.benchmark, run);
+    }
+    ++index;
+  };
+  (void)trace::StreamTrace(in, sink);
   return run;
 }
 
@@ -195,8 +312,15 @@ RunResult RunCell(const offsetstone::Benchmark& benchmark, unsigned dbcs,
   return RunCell(benchmark, dbcs, ToString(strategy), options);
 }
 
-std::vector<RunResult> RunMatrix(
+namespace {
+
+/// Shared body of both RunMatrix overloads. `stream_paths` parallels
+/// `suite` (or is empty): a non-empty entry marks a stub benchmark whose
+/// cells run through RunStreamedTraceCell on that path instead of the
+/// materialized suite entry.
+std::vector<RunResult> RunMatrixImpl(
     const std::vector<offsetstone::Benchmark>& suite,
+    const std::vector<std::string>& stream_paths,
     const ExperimentOptions& options) {
   // Enum-backed strategies first, then the name-only extras, matching the
   // documented grid order. Deduped on the normalized name: a repeated
@@ -254,8 +378,15 @@ std::vector<RunResult> RunMatrix(
       if (i >= cells.size()) return;
       const Cell& cell = cells[i];
       try {
-        results[i] = RunCell(suite[cell.benchmark], cell.dbcs,
-                             strategy_names[cell.strategy], options);
+        const bool streamed = cell.benchmark < stream_paths.size() &&
+                              !stream_paths[cell.benchmark].empty();
+        results[i] =
+            streamed ? RunStreamedTraceCell(stream_paths[cell.benchmark],
+                                            cell.dbcs,
+                                            strategy_names[cell.strategy],
+                                            options)
+                     : RunCell(suite[cell.benchmark], cell.dbcs,
+                               strategy_names[cell.strategy], options);
         if (options.progress) {
           const std::lock_guard<std::mutex> lock(mutex);
           options.progress(results[i], ++completed, cells.size());
@@ -284,6 +415,14 @@ std::vector<RunResult> RunMatrix(
   return results;
 }
 
+}  // namespace
+
+std::vector<RunResult> RunMatrix(
+    const std::vector<offsetstone::Benchmark>& suite,
+    const ExperimentOptions& options) {
+  return RunMatrixImpl(suite, {}, options);
+}
+
 std::vector<offsetstone::Benchmark> LoadWorkloads(
     std::span<const std::string> specs, const ExperimentOptions& options) {
   workloads::WorkloadRequest request;
@@ -305,7 +444,36 @@ std::vector<offsetstone::Benchmark> LoadWorkloads(
 
 std::vector<RunResult> RunMatrix(std::span<const std::string> workload_specs,
                                  const ExperimentOptions& options) {
-  return RunMatrix(LoadWorkloads(workload_specs, options), options);
+  if (!options.stream_trace_files) {
+    return RunMatrix(LoadWorkloads(workload_specs, options), options);
+  }
+  // Streaming mode: trace-file specs become name-only stubs paired with
+  // their path; everything else materializes exactly as before.
+  workloads::WorkloadRequest request;
+  request.seed = options.workload_seed;
+  request.scale = options.workload_scale;
+  std::vector<offsetstone::Benchmark> suite;
+  std::vector<std::string> stream_paths;
+  suite.reserve(workload_specs.size());
+  stream_paths.reserve(workload_specs.size());
+  for (const std::string& spec : workload_specs) {
+    if (IsStreamableTraceFile(spec)) {
+      offsetstone::Benchmark stub;
+      stub.name = StreamedBenchmarkName(spec);
+      suite.push_back(std::move(stub));
+      stream_paths.push_back(spec);
+      continue;
+    }
+    const auto workload = workloads::ResolveWorkload(spec);
+    if (!workload) {
+      throw std::invalid_argument(
+          "RunMatrix: '" + spec +
+          "' is neither a registered workload nor a trace file");
+    }
+    suite.push_back(workload->Generate(request));
+    stream_paths.emplace_back();
+  }
+  return RunMatrixImpl(suite, stream_paths, options);
 }
 
 std::string ResultTable::Key(const std::string& benchmark, unsigned dbcs,

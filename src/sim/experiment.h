@@ -105,6 +105,14 @@ struct ExperimentOptions {
   /// of `seed`, which drives the GA/RW search streams.
   std::uint64_t workload_seed = 0;
   double workload_scale = 1.0;
+  /// Stream trace-FILE specs of the workload-spec RunMatrix overload
+  /// through RunStreamedTraceCell instead of materializing them: each
+  /// cell re-reads the file holding one sequence in memory at a time.
+  /// Bit-identical to the materialized run (pinned by
+  /// tests/experiment_test.cpp); registered workloads and phased specs
+  /// always materialize. Off by default — materializing once and
+  /// sharing the benchmark across cells is faster for files that fit.
+  bool stream_trace_files = false;
 };
 
 /// Device configuration of one experiment cell: the paper's device for
@@ -143,22 +151,44 @@ struct ExperimentOptions {
 /// Workload-spec entry point:
 /// RunMatrix(LoadWorkloads(specs, options), options). This is how every
 /// registered workload (and any external trace file) enters the
-/// evaluation matrix by name.
+/// evaluation matrix by name. With options.stream_trace_files set,
+/// trace-FILE specs skip LoadWorkloads and run through
+/// RunStreamedTraceCell instead (same results, one in-memory sequence
+/// per worker at a time).
 [[nodiscard]] std::vector<RunResult> RunMatrix(
     std::span<const std::string> workload_specs,
     const ExperimentOptions& options);
 
 /// Runs one benchmark / strategy / DBC-count cell. The name is resolved
 /// through StrategyRegistry::Global() first and, on a miss, through
-/// online::OnlinePolicyRegistry::Global() and then
-/// serve::ServePolicyRegistry::Global() (online and serve policies are
-/// cells like any other — see online/online_cell.h and
-/// serve/serve_cell.h); throws std::invalid_argument if no registry
-/// knows it.
+/// online::OnlinePolicyRegistry::Global(),
+/// serve::ServePolicyRegistry::Global() and then
+/// cache::CachePolicyRegistry::Global() (online, serve and cache
+/// policies are cells like any other — see online/online_cell.h,
+/// serve/serve_cell.h and cache/cache_cell.h); throws
+/// std::invalid_argument if no registry knows it.
 [[nodiscard]] RunResult RunCell(const offsetstone::Benchmark& benchmark,
                                 unsigned dbcs,
                                 std::string_view strategy_name,
                                 const ExperimentOptions& options);
+
+/// Streaming twin of RunCell for an on-disk trace file: sequences are
+/// delivered one at a time by trace::StreamTrace — the file is never
+/// materialized as a whole — and each runs on a device sized for ITS
+/// variable count, exactly as the materialized loop sizes per sequence
+/// (the device-sizing policy for variable counts unknown ahead of the
+/// stream). The benchmark name is peeked from the file head
+/// (trace::PeekTraceBenchmark; file-stem fallback) so seeds match the
+/// materialized cell's. Serve cells materialize internally — a serve
+/// cell arbitrates its tenants' sequences against each other and needs
+/// them all at once. Bit-identical to
+/// RunCell(LoadWorkloads({path}, ...)[0], ...); dispatch and errors as
+/// RunCell. Throws std::runtime_error when the file cannot be opened or
+/// parsed.
+[[nodiscard]] RunResult RunStreamedTraceCell(const std::string& path,
+                                             unsigned dbcs,
+                                             std::string_view strategy_name,
+                                             const ExperimentOptions& options);
 
 /// Enum-spec convenience overload; equivalent to passing ToString(spec).
 [[nodiscard]] RunResult RunCell(const offsetstone::Benchmark& benchmark,

@@ -338,6 +338,50 @@ TraceSummary StreamTrace(std::istream& in, const SequenceSink& sink,
   return StreamTextTrace(in, sink, options);
 }
 
+std::string PeekTraceBenchmark(std::istream& in) {
+  // Same sniff as StreamTrace; non-seekable streams fall back to the
+  // text grammar.
+  const std::istream::pos_type start = in.tellg();
+  if (start != std::istream::pos_type(-1)) {
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    const bool binary = in.gcount() == sizeof(magic) &&
+                        std::equal(magic, magic + 4, kMagic);
+    in.clear();
+    in.seekg(start);
+    if (binary) {
+      // Header only: magic, version, flags, benchmark name. The
+      // checksum covers the whole file and is not validated here — the
+      // full pass does that.
+      ByteReader reader(in);
+      char skipped[4];
+      reader.Bytes(skipped, sizeof(skipped));
+      const std::uint32_t version = reader.U32();
+      if (version != kBinaryVersion) {
+        Fail("unsupported version " + std::to_string(version));
+      }
+      const std::uint32_t flags = reader.U32();
+      if (flags != 0) Fail("unknown flags");
+      return reader.Str();
+    }
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto tokens = util::SplitWhitespace(trimmed);
+    if (tokens.front() == "benchmark") {
+      if (tokens.size() != 2) {
+        throw std::runtime_error("trace: 'benchmark' needs exactly one name");
+      }
+      return tokens[1];
+    }
+    // Anything else means the head holds no benchmark declaration.
+    break;
+  }
+  return "";
+}
+
 void WriteBinaryTrace(std::ostream& out, const TraceFile& trace) {
   // Enforce the reader's caps on the way out too: a file that writes
   // but can never be read back (or whose counts truncate through the

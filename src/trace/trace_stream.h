@@ -69,6 +69,17 @@ TraceSummary StreamBinaryTrace(std::istream& in, const SequenceSink& sink);
 TraceSummary StreamTrace(std::istream& in, const SequenceSink& sink,
                          const TraceStreamOptions& options = {});
 
+/// Reads just the benchmark name from the head of a trace stream (either
+/// format, sniffed by magic) without touching any sequence data — the
+/// streaming experiment path needs it up front for seed derivation,
+/// while StreamTrace only reports it at end-of-stream. Returns "" when
+/// no name is declared before the first sequence (both writers emit it
+/// first; a nonconforming text file with a late `benchmark` directive
+/// peeks as "" and gets the caller's fallback naming). Consumes the
+/// stream — reopen or rewind before the full streaming pass. Throws
+/// std::runtime_error on a malformed header.
+[[nodiscard]] std::string PeekTraceBenchmark(std::istream& in);
+
 /// Serializes `trace` in the binary format;
 /// ReadBinaryTrace(WriteBinaryTrace(t)) round-trips benchmark name,
 /// sequence names, variable names, access order and access types.

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/cost_model.h"
 #include "core/strategy_registry.h"
 #include "sim/experiment.h"
+#include "trace/trace_io.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace rtmp::sim {
@@ -303,6 +307,100 @@ TEST(Experiment, RunCellRejectsUnregisteredStrategies) {
   bogus.inter = static_cast<core::InterPolicy>(250);
   EXPECT_THROW((void)RunCell(b, 2, bogus, FastOptions()),
                std::invalid_argument);
+}
+
+/// A multi-sequence trace with uneven variable counts and a write mix:
+/// streaming must size the device per sequence exactly as the
+/// materialized loop does.
+trace::TraceFile StreamPinTrace() {
+  trace::TraceFile file;
+  file.benchmark = "streampin";
+  util::Rng rng(0xBEEF);
+  const std::size_t var_counts[] = {30, 12};
+  const std::size_t lengths[] = {400, 200};
+  for (std::size_t s = 0; s < 2; ++s) {
+    trace::AccessSequence seq;
+    for (std::size_t v = 0; v < var_counts[s]; ++v) {
+      (void)seq.AddVariable(util::Concat({"v", std::to_string(v)}));
+    }
+    for (std::size_t i = 0; i < lengths[s]; ++i) {
+      seq.Append(
+          static_cast<trace::VariableId>(rng.NextBelow(var_counts[s])),
+          rng.NextBool(0.3) ? trace::AccessType::kWrite
+                            : trace::AccessType::kRead);
+    }
+    file.sequence_names.push_back(util::Concat({"s", std::to_string(s)}));
+    file.sequences.push_back(std::move(seq));
+  }
+  return file;
+}
+
+std::string WriteStreamPinTrace() {
+  const std::string path =
+      ::testing::TempDir() + "rtmplace_streampin.trace";
+  std::ofstream out(path);
+  trace::WriteTrace(out, StreamPinTrace());
+  return path;
+}
+
+void ExpectCellsEqual(const RunResult& a, const RunResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.benchmark, b.benchmark) << label;
+  EXPECT_EQ(a.strategy_name, b.strategy_name) << label;
+  EXPECT_EQ(a.metrics.shifts, b.metrics.shifts) << label;
+  EXPECT_EQ(a.metrics.accesses, b.metrics.accesses) << label;
+  EXPECT_DOUBLE_EQ(a.metrics.read_write_pj, b.metrics.read_write_pj) << label;
+  EXPECT_DOUBLE_EQ(a.metrics.shift_pj, b.metrics.shift_pj) << label;
+  EXPECT_EQ(a.placement_cost, b.placement_cost) << label;
+  EXPECT_EQ(a.search_evaluations, b.search_evaluations) << label;
+  EXPECT_DOUBLE_EQ(a.metrics.runtime_ns, b.metrics.runtime_ns) << label;
+  EXPECT_DOUBLE_EQ(a.metrics.total_energy_pj(), b.metrics.total_energy_pj())
+      << label;
+}
+
+TEST(Experiment, StreamedTraceCellMatchesMaterialized) {
+  const std::string path = WriteStreamPinTrace();
+  ExperimentOptions options = FastOptions();
+  const std::vector<std::string> specs = {path};
+  const auto suite = LoadWorkloads(specs, options);
+  ASSERT_EQ(suite.size(), 1u);
+  EXPECT_EQ(suite[0].name, "streampin");
+
+  // One strategy per dispatch family: classic placement, the online
+  // engine, and the capacity-constrained cache tier.
+  for (const std::string name :
+       {"dma-ofu", "online-fixed-dma-sr", "cache-shift-aware-c50"}) {
+    const RunResult materialized = RunCell(suite[0], 4, name, options);
+    const RunResult streamed = RunStreamedTraceCell(path, 4, name, options);
+    ExpectCellsEqual(materialized, streamed, name);
+  }
+}
+
+TEST(Experiment, StreamedMatrixMatchesMaterializedMatrix) {
+  const std::string path = WriteStreamPinTrace();
+  ExperimentOptions options = FastOptions();
+  options.dbc_counts = {4};
+  options.extra_strategies = {"online-fixed-dma-sr", "cache-lru-c50",
+                              "cache-shift-aware-c25"};
+  // Mixed specs: a trace FILE (streamable) next to a registry workload
+  // (always materialized) — both paths must land in one coherent grid.
+  const std::vector<std::string> specs = {path, "pointer-chase"};
+
+  options.stream_trace_files = false;
+  const auto materialized = RunMatrix(specs, options);
+  options.stream_trace_files = true;
+  options.num_threads = 3;  // streaming must stay schedule-independent
+  const auto streamed = RunMatrix(specs, options);
+
+  ASSERT_EQ(materialized.size(), streamed.size());
+  ASSERT_EQ(materialized.size(),
+            specs.size() * (options.strategies.size() +
+                            options.extra_strategies.size()));
+  for (std::size_t i = 0; i < materialized.size(); ++i) {
+    ExpectCellsEqual(materialized[i], streamed[i],
+                     materialized[i].benchmark + "/" +
+                         materialized[i].strategy_name);
+  }
 }
 
 TEST(Experiment, DeterministicAcrossRuns) {
