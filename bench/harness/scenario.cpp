@@ -39,6 +39,7 @@ void ScenarioContext::Configure(sim::ExperimentOptions& options) {
   options.search_effort = effort_;
   options.num_threads = sim::ThreadCountFromEnv(0);
   options.progress = StderrProgress();
+  options.obs = obs_;
   // Record the seed the matrix cells will actually run with.
   report_.search_seed = options.seed;
 }
@@ -100,9 +101,10 @@ std::vector<std::string> ScenarioRegistry::Names() const {
 
 // ---- running ---------------------------------------------------------------
 
-BenchReport RunScenario(const Scenario& scenario, bool quiet) {
+BenchReport RunScenario(const Scenario& scenario, bool quiet,
+                        obs::ObsConfig obs) {
   const double effort = sim::SearchEffortFromEnv(kDefaultEffort);
-  ScenarioContext context(effort, quiet);
+  ScenarioContext context(effort, quiet, obs);
   BenchReport& report = context.report();
   report.scenario = scenario.name;
   report.git_sha = CurrentGitSha();

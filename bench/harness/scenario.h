@@ -13,6 +13,7 @@
 
 #include "harness/progress.h"
 #include "harness/report.h"
+#include "obs/obs.h"
 #include "offsetstone/suite.h"
 #include "sim/experiment.h"
 #include "util/table.h"
@@ -28,8 +29,9 @@ inline constexpr double kDefaultEffort = 0.05;
 /// stderr and only when it is a tty).
 class ScenarioContext {
  public:
-  explicit ScenarioContext(double effort, bool quiet)
-      : effort_(effort), quiet_(quiet) {}
+  explicit ScenarioContext(double effort, bool quiet,
+                           obs::ObsConfig obs = {})
+      : effort_(effort), quiet_(quiet), obs_(obs) {}
 
   [[nodiscard]] double effort() const noexcept { return effort_; }
   [[nodiscard]] BenchReport& report() noexcept { return report_; }
@@ -41,7 +43,8 @@ class ScenarioContext {
   void PrintEffortNote();
 
   /// Shared matrix setup: effort + thread count (RTMPLACE_THREADS) +
-  /// tty-aware progress. Also records options.seed as the report's
+  /// tty-aware progress + the harness' observability sinks (rtmbench
+  /// --trace-out). Also records options.seed as the report's
   /// search_seed.
   void Configure(sim::ExperimentOptions& options);
 
@@ -65,6 +68,7 @@ class ScenarioContext {
  private:
   double effort_;
   bool quiet_;
+  obs::ObsConfig obs_;
   BenchReport report_;
 };
 
@@ -93,8 +97,12 @@ class ScenarioRegistry {
 };
 
 /// Runs one scenario and returns the filled report (metadata included).
+/// `obs` (optional) receives the scenario's trace and metrics: every
+/// matrix the scenario runs through Configure records into these sinks
+/// (see sim::ExperimentOptions::obs for the determinism contract).
 [[nodiscard]] BenchReport RunScenario(const Scenario& scenario,
-                                      bool quiet = false);
+                                      bool quiet = false,
+                                      obs::ObsConfig obs = {});
 
 /// main() of a legacy bench-binary alias: runs the scenario with report
 /// output only (no JSON, no golden check); nonzero exit only when a

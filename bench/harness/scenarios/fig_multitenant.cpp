@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "harness/scenarios/scenarios.h"
+#include "obs/metrics.h"
 #include "serve/serve_cell.h"
 #include "serve/serve_policy.h"
 #include "serve/service.h"
@@ -112,14 +113,17 @@ void Run(ScenarioContext& ctx) {
   constexpr unsigned kGridDbcs = 8;
   util::TextTable grid_out;
   grid_out.SetHeader({"tenants", "shards", "budget", "total shifts",
-                      "makespan (us)", "fairness", "denials"});
+                      "makespan (us)", "fairness", "denials", "p50 (ns)",
+                      "p99 (ns)"});
   grid_out.SetAlignments({util::Align::kRight, util::Align::kRight,
                           util::Align::kLeft, util::Align::kRight,
+                          util::Align::kRight, util::Align::kRight,
                           util::Align::kRight, util::Align::kRight,
                           util::Align::kRight});
   bool fairness_in_range = true;
   bool budget_respected = true;
   bool attribution_exact = true;
+  bool latency_hists_exact = true;
   for (const std::size_t tenants : {1u, 4u, 16u}) {
     const offsetstone::Benchmark benchmark =
         MakeTenantBenchmark(tenants, options);
@@ -149,10 +153,15 @@ void Run(ScenarioContext& ctx) {
             result.fairness > 0.0 && result.fairness <= 1.0 + 1e-12;
         budget_respected &= result.budget_spent <= result.budget_granted;
         std::uint64_t tenant_shifts = 0;
+        obs::Histogram tenant_sum;
         for (const serve::TenantStats& tenant : result.tenants) {
           tenant_shifts += tenant.service_shifts + tenant.migration_shifts;
+          tenant_sum.Merge(tenant.latency_hist);
         }
         attribution_exact &= tenant_shifts == result.total_shifts;
+        // Each turn's exposed latency is recorded once under its tenant
+        // and once at device level — the merge must be bucket-exact.
+        latency_hists_exact &= tenant_sum == result.latency_hist;
 
         const std::string tag = benchmark.name + "/" +
                                 std::to_string(shards) + "s/" + budget;
@@ -163,23 +172,43 @@ void Run(ScenarioContext& ctx) {
         ctx.Scalar("fig_multitenant/fairness/" + tag, result.fairness, "");
         ctx.Scalar("fig_multitenant/budget_denials/" + tag,
                    static_cast<double>(result.budget_denials), "");
+        const obs::Histogram& device_hist = result.latency_hist;
+        ctx.Scalar("fig_multitenant/latency_p50_ns/" + tag,
+                   static_cast<double>(device_hist.Quantile(0.5)), "ns");
+        ctx.Scalar("fig_multitenant/latency_p95_ns/" + tag,
+                   static_cast<double>(device_hist.Quantile(0.95)), "ns");
+        ctx.Scalar("fig_multitenant/latency_p99_ns/" + tag,
+                   static_cast<double>(device_hist.Quantile(0.99)), "ns");
+        ctx.Scalar("fig_multitenant/latency_p999_ns/" + tag,
+                   static_cast<double>(device_hist.Quantile(0.999)), "ns");
+        for (const serve::TenantStats& tenant : result.tenants) {
+          ctx.Scalar("fig_multitenant/tenant_p99_ns/" + tag + "/" +
+                         tenant.name,
+                     static_cast<double>(tenant.latency_hist.Quantile(0.99)),
+                     "ns");
+        }
         grid_out.AddRow({std::to_string(tenants), std::to_string(shards),
                          budget, std::to_string(result.total_shifts),
                          util::FormatFixed(result.makespan_ns / 1000.0, 2),
                          util::FormatFixed(result.fairness, 4),
-                         std::to_string(result.budget_denials)});
+                         std::to_string(result.budget_denials),
+                         std::to_string(device_hist.Quantile(0.5)),
+                         std::to_string(device_hist.Quantile(0.99))});
       }
     }
   }
   ctx.PrintTable(grid_out);
-  ctx.Print("(fairness = Jain index over per-tenant mean window "
-            "latency)\n\n");
+  ctx.Print("(fairness = Jain index over per-tenant mean window latency; "
+            "p50/p99 from the\ndevice's exposed-latency histogram, "
+            "log2-bucket upper bounds)\n\n");
 
   ctx.Check("fairness indices within (0, 1]", fairness_in_range);
   ctx.Check("migration budget spending never exceeds the grant",
             budget_respected);
   ctx.Check("per-tenant shift attribution sums to the device totals",
             attribution_exact);
+  ctx.Check("per-tenant latency histograms merge to the device histogram",
+            latency_hists_exact);
 }
 
 }  // namespace

@@ -14,6 +14,9 @@
 //                     overridable via RTMBENCH_GOLDEN_DIR)
 //   --no-json         skip writing BENCH_<scenario>.json
 //   --quiet           suppress the scenario's stdout report
+//   --trace-out FILE  write a Chrome trace-event JSON (simulated time)
+//                     covering every matrix the scenarios run; open in
+//                     Perfetto / chrome://tracing
 //
 // `run all` expands to every registered scenario. Exit codes: 0 ok,
 // 1 failed check/comparison, 2 usage error.
@@ -21,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -28,6 +32,8 @@
 #include "harness/compare.h"
 #include "harness/report.h"
 #include "harness/scenario.h"
+#include "obs/obs.h"
+#include "obs/trace_recorder.h"
 
 namespace {
 
@@ -40,6 +46,7 @@ int Usage() {
       "  rtmbench list\n"
       "  rtmbench run <scenario|all>... [--check] [--update-golden]\n"
       "           [--out-dir DIR] [--golden-dir DIR] [--no-json] [--quiet]\n"
+      "           [--trace-out FILE]\n"
       "  rtmbench check <scenario|all>... [--golden-dir DIR]\n"
       "  rtmbench diff <golden.json> <current.json>\n"
       "\nscenarios:\n",
@@ -85,6 +92,10 @@ struct RunFlags {
   bool quiet = false;
   std::string out_dir = ".";
   std::string golden_dir = DefaultGoldenDir();
+  /// Chrome trace-event JSON destination ("" = tracing off). One file
+  /// covers the whole invocation; when several scenarios run, their
+  /// cell rows share the pid space in run order.
+  std::string trace_out;
 };
 
 int RunScenarios(const std::vector<std::string>& names,
@@ -98,12 +109,15 @@ int RunScenarios(const std::vector<std::string>& names,
     }
   }
   int failures = 0;
+  obs::TraceRecorder trace;
+  obs::ObsConfig obs;
+  if (!flags.trace_out.empty()) obs.trace = &trace;
   for (const std::string& name : names) {
     const Scenario* scenario = ScenarioRegistry::Global().Find(name);
     if (!flags.quiet && names.size() > 1) {
       std::printf("### %s\n\n", name.c_str());
     }
-    const BenchReport report = RunScenario(*scenario, flags.quiet);
+    const BenchReport report = RunScenario(*scenario, flags.quiet, obs);
     for (const CheckResult& check : report.checks) {
       if (check.fatal && !check.pass) {
         std::fprintf(stderr, "rtmbench: %s: fatal check failed: %s\n",
@@ -164,6 +178,17 @@ int RunScenarios(const std::vector<std::string>& names,
       std::fprintf(stderr, "rtmbench: updated golden %s\n", path.c_str());
     }
     if (!flags.quiet && names.size() > 1) std::printf("\n");
+  }
+  if (!flags.trace_out.empty()) {
+    std::ofstream out(flags.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "rtmbench: cannot write trace to %s\n",
+                   flags.trace_out.c_str());
+      return 1;
+    }
+    out << trace.ToJson(/*indent=*/0) << '\n';
+    std::fprintf(stderr, "rtmbench: wrote trace %s (%zu events)\n",
+                 flags.trace_out.c_str(), trace.size());
   }
   return failures == 0 ? 0 : 1;
 }
@@ -228,13 +253,17 @@ int main(int argc, char** argv) {
           flags.write_json = false;
         } else if (arg == "--quiet") {
           flags.quiet = true;
-        } else if (arg == "--out-dir" || arg == "--golden-dir") {
+        } else if (arg == "--out-dir" || arg == "--golden-dir" ||
+                   arg == "--trace-out") {
           if (i + 1 >= argc) {
             std::fprintf(stderr, "rtmbench: %s requires a value\n",
                          arg.c_str());
             return Usage();
           }
-          (arg == "--out-dir" ? flags.out_dir : flags.golden_dir) = argv[++i];
+          (arg == "--out-dir"
+               ? flags.out_dir
+               : (arg == "--golden-dir" ? flags.golden_dir
+                                        : flags.trace_out)) = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
           std::fprintf(stderr, "rtmbench: unknown flag '%s'\n", arg.c_str());
           return Usage();

@@ -32,6 +32,9 @@
 #include "core/cost_model.h"
 #include "core/inter_dma.h"
 #include "core/strategy_registry.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace_recorder.h"
 #include "offsetstone/suite.h"
 #include "online/online_cell.h"
 #include "online/policy.h"
@@ -67,11 +70,19 @@ int Usage() {
       "  placement_explorer compare <workload> <dbcs> [--json <file>]\n"
       "  placement_explorer strategies [--json <file>]\n"
       "  placement_explorer workloads [--json <file>]\n"
-      "  placement_explorer online <workload> <policy> <dbcs>\n"
-      "  placement_explorer serve <workload> <serve-policy> <dbcs>   each "
-      "sequence a tenant\n"
-      "  placement_explorer cache <workload> <cache-policy> <dbcs>   the "
-      "device as a cache tier\n"
+      "  placement_explorer online <workload> <policy> <dbcs> [--json "
+      "<file>] [--trace-out <file>]\n"
+      "  placement_explorer serve <workload> <serve-policy> <dbcs> [--json "
+      "<file>] [--trace-out <file>]\n"
+      "                                                  each sequence a "
+      "tenant\n"
+      "  placement_explorer cache <workload> <cache-policy> <dbcs> [--json "
+      "<file>] [--trace-out <file>]\n"
+      "                                                  the device as a "
+      "cache tier\n"
+      "\nonline/serve/cache: --json writes a metrics snapshot (counters + "
+      "latency\nhistograms), --trace-out a Chrome trace-event JSON in "
+      "simulated time\n(open in Perfetto / chrome://tracing).\n"
       "\n<workload> is a registered workload name, a phased(a,b,...) "
       "splice of\nregistered workloads, or a trace-file path (text or "
       "binary).\n"
@@ -357,8 +368,50 @@ int CmdCompare(const std::string& spec, unsigned dbcs,
   return 0;
 }
 
+/// Observability sinks for the online/serve/cache commands: live only
+/// when the matching flag was given, so instrumentation stays disabled
+/// (null sinks) on a plain run.
+struct ExplorerObs {
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  std::string json_path;
+  std::string trace_path;
+
+  [[nodiscard]] obs::ObsConfig Config() {
+    obs::ObsConfig config;
+    if (!json_path.empty()) config.metrics = &metrics;
+    if (!trace_path.empty()) config.trace = &trace;
+    return config;
+  }
+
+  /// Writes whichever outputs were requested; returns 0, or 1 on an
+  /// unwritable path.
+  [[nodiscard]] int Write() const {
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      out << metrics.ToJson() << "\n";
+      std::printf("wrote metrics %s\n", json_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      out << trace.ToJson(/*indent=*/0) << "\n";
+      std::printf("wrote trace %s (%zu events)\n", trace_path.c_str(),
+                  trace.size());
+    }
+    return 0;
+  }
+};
+
 int CmdOnline(const std::string& spec, const std::string& policy_name,
-              unsigned dbcs) {
+              unsigned dbcs, ExplorerObs& obs) {
   const auto policy = online::OnlinePolicyRegistry::Global().Find(policy_name);
   if (!policy) {
     std::fprintf(stderr,
@@ -375,6 +428,7 @@ int CmdOnline(const std::string& spec, const std::string& policy_name,
 
   sim::ExperimentOptions options;
   options.search_effort = sim::SearchEffortFromEnv(0.1);
+  options.obs = obs.Config();
   std::uint64_t total_shifts = 0;
   std::uint64_t total_migration_shifts = 0;
   std::size_t total_migrations = 0;
@@ -420,11 +474,11 @@ int CmdOnline(const std::string& spec, const std::string& policy_name,
               static_cast<unsigned long long>(total_shifts),
               static_cast<unsigned long long>(total_migration_shifts),
               total_migrations);
-  return 0;
+  return obs.Write();
 }
 
 int CmdServe(const std::string& spec, const std::string& policy_name,
-             unsigned dbcs) {
+             unsigned dbcs, ExplorerObs& obs) {
   const auto policy = serve::ServePolicyRegistry::Global().Find(policy_name);
   if (!policy) {
     std::fprintf(stderr,
@@ -442,6 +496,7 @@ int CmdServe(const std::string& spec, const std::string& policy_name,
 
   sim::ExperimentOptions options;
   options.search_effort = sim::SearchEffortFromEnv(0.1);
+  options.obs = obs.Config();
   std::size_t total_vars = 0;
   for (const auto& seq : benchmark.sequences) {
     total_vars += seq.num_variables();
@@ -463,8 +518,10 @@ int CmdServe(const std::string& spec, const std::string& policy_name,
 
   util::TextTable tenants;
   tenants.SetHeader({"tenant", "shard", "accesses", "windows", "shifts",
-                     "migrations", "denials", "mean win lat [ns]"});
+                     "migrations", "denials", "mean win lat [ns]",
+                     "p50 [ns]", "p99 [ns]"});
   tenants.SetAlignments({util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
                          util::Align::kRight, util::Align::kRight,
                          util::Align::kRight, util::Align::kRight,
                          util::Align::kRight, util::Align::kRight});
@@ -475,7 +532,9 @@ int CmdServe(const std::string& spec, const std::string& policy_name,
          std::to_string(tenant.service_shifts + tenant.migration_shifts),
          std::to_string(tenant.migrations),
          std::to_string(tenant.budget_denials),
-         util::FormatFixed(tenant.mean_window_latency_ns(), 1)});
+         util::FormatFixed(tenant.mean_window_latency_ns(), 1),
+         std::to_string(tenant.latency_hist.Quantile(0.5)),
+         std::to_string(tenant.latency_hist.Quantile(0.99))});
   }
   std::fputs(tenants.Render().c_str(), stdout);
 
@@ -508,11 +567,17 @@ int CmdServe(const std::string& spec, const std::string& policy_name,
       static_cast<unsigned long long>(result.budget_spent),
       static_cast<unsigned long long>(result.budget_granted),
       result.budget_denials);
-  return 0;
+  std::printf(
+      "exposed window latency (device): p50 %llu ns, p99 %llu ns over "
+      "%llu turns\n",
+      static_cast<unsigned long long>(result.latency_hist.Quantile(0.5)),
+      static_cast<unsigned long long>(result.latency_hist.Quantile(0.99)),
+      static_cast<unsigned long long>(result.latency_hist.total()));
+  return obs.Write();
 }
 
 int CmdCache(const std::string& spec, const std::string& policy_name,
-             unsigned dbcs) {
+             unsigned dbcs, ExplorerObs& obs) {
   const auto policy = cache::CachePolicyRegistry::Global().Find(policy_name);
   if (!policy) {
     std::fprintf(stderr,
@@ -531,6 +596,7 @@ int CmdCache(const std::string& spec, const std::string& policy_name,
 
   sim::ExperimentOptions options;
   options.search_effort = sim::SearchEffortFromEnv(0.1);
+  options.obs = obs.Config();
   cache::CacheStats totals;
   std::uint64_t total_shifts = 0;
   for (std::size_t s = 0; s < benchmark.sequences.size(); ++s) {
@@ -583,15 +649,21 @@ int CmdCache(const std::string& spec, const std::string& policy_name,
       static_cast<unsigned long long>(totals.accesses),
       static_cast<unsigned long long>(totals.fills),
       static_cast<unsigned long long>(totals.writebacks), totals.backing_ns);
-  return 0;
+  return obs.Write();
 }
 
-/// Parses a trailing `[--json <file>]`; returns false (after printing
-/// usage) on anything else.
-bool ParseJsonFlag(int argc, char** argv, int first, std::string* json_path) {
+/// Parses trailing `[--json <file>]` (and, when `trace_path` is
+/// non-null, `[--trace-out <file>]`); returns false (after printing the
+/// offender) on anything else.
+bool ParseOutputFlags(int argc, char** argv, int first, std::string* json_path,
+                      std::string* trace_path = nullptr) {
   for (int i = first; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
       *json_path = argv[++i];
+    } else if (trace_path != nullptr && arg == "--trace-out" &&
+               i + 1 < argc) {
+      *trace_path = argv[++i];
     } else {
       std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
       return false;
@@ -616,30 +688,42 @@ int main(int argc, char** argv) {
     }
     if (argc >= 4 && std::string(argv[1]) == "compare") {
       std::string json_path;
-      if (!ParseJsonFlag(argc, argv, 4, &json_path)) return Usage();
+      if (!ParseOutputFlags(argc, argv, 4, &json_path)) return Usage();
       return CmdCompare(argv[2], static_cast<unsigned>(std::stoul(argv[3])),
                         json_path);
     }
     if (argc >= 5 && std::string(argv[1]) == "online") {
+      ExplorerObs obs;
+      if (!ParseOutputFlags(argc, argv, 5, &obs.json_path, &obs.trace_path)) {
+        return Usage();
+      }
       return CmdOnline(argv[2], argv[3],
-                       static_cast<unsigned>(std::stoul(argv[4])));
+                       static_cast<unsigned>(std::stoul(argv[4])), obs);
     }
     if (argc >= 5 && std::string(argv[1]) == "serve") {
+      ExplorerObs obs;
+      if (!ParseOutputFlags(argc, argv, 5, &obs.json_path, &obs.trace_path)) {
+        return Usage();
+      }
       return CmdServe(argv[2], argv[3],
-                      static_cast<unsigned>(std::stoul(argv[4])));
+                      static_cast<unsigned>(std::stoul(argv[4])), obs);
     }
     if (argc >= 5 && std::string(argv[1]) == "cache") {
+      ExplorerObs obs;
+      if (!ParseOutputFlags(argc, argv, 5, &obs.json_path, &obs.trace_path)) {
+        return Usage();
+      }
       return CmdCache(argv[2], argv[3],
-                      static_cast<unsigned>(std::stoul(argv[4])));
+                      static_cast<unsigned>(std::stoul(argv[4])), obs);
     }
     if (argc >= 2 && std::string(argv[1]) == "strategies") {
       std::string json_path;
-      if (!ParseJsonFlag(argc, argv, 2, &json_path)) return Usage();
+      if (!ParseOutputFlags(argc, argv, 2, &json_path)) return Usage();
       return CmdStrategies(json_path);
     }
     if (argc >= 2 && std::string(argv[1]) == "workloads") {
       std::string json_path;
-      if (!ParseJsonFlag(argc, argv, 2, &json_path)) return Usage();
+      if (!ParseOutputFlags(argc, argv, 2, &json_path)) return Usage();
       return CmdWorkloads(json_path);
     }
     if (argc == 1) {

@@ -52,6 +52,10 @@ CacheConfig CellCacheConfig(const CachePolicy& policy,
   cache.engine.strategy_options.ga.seed = seed;
   cache.engine.strategy_options.rw.seed = seed;
   cache.eviction_seed = seed;
+  // Observability rides along on the wrapped engine config; within a
+  // cell, tid tells sequences apart.
+  cache.engine.obs = options.obs;
+  cache.engine.obs.tid = static_cast<std::uint32_t>(sequence_index);
   return cache;
 }
 

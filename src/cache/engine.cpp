@@ -1,11 +1,14 @@
 #include "cache/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "online/migration.h"
 
 namespace rtmp::cache {
@@ -54,6 +57,27 @@ CacheEngine::CacheEngine(CacheConfig config, rtm::RtmConfig device)
       [this](const core::Placement& placement, rtm::RtmController& controller) {
         ExecutePendingFills(placement, controller);
       });
+  SetUpObs();
+}
+
+void CacheEngine::SetUpObs() {
+  obs_ = config_.engine.obs;
+  if (obs_.trace != nullptr) {
+    trace_miss_ = obs_.trace->Intern("cache-miss");
+    trace_fill_sweep_ = obs_.trace->Intern("fill-sweep");
+    key_variable_ = obs_.trace->Intern("variable");
+    key_evicted_ = obs_.trace->Intern("evicted");
+    key_wrote_back_ = obs_.trace->Intern("wrote_back");
+    key_requests_ = obs_.trace->Intern("requests");
+    key_shifts_ = obs_.trace->Intern("shifts");
+  }
+  if (obs_.metrics != nullptr) {
+    m_hits_ = &obs_.metrics->Counter("cache/hits");
+    m_misses_ = &obs_.metrics->Counter("cache/misses");
+    m_fills_ = &obs_.metrics->Counter("cache/fills");
+    m_writebacks_ = &obs_.metrics->Counter("cache/writebacks");
+    m_fill_shifts_ = &obs_.metrics->Counter("cache/fill_shifts");
+  }
 }
 
 std::uint32_t CacheEngine::RegisterVariable(std::string_view name,
@@ -171,6 +195,7 @@ void CacheEngine::ResolveWindow() {
     std::uint32_t frame = frame_of_[variable];
     if (frame != kNoFrame) {
       ++running_.hits;
+      if (m_hits_ != nullptr) ++*m_hits_;
       FrameInfo& info = frames_[frame];
       info.last_use = tick_;
       ++info.uses;
@@ -258,6 +283,21 @@ std::uint32_t CacheEngine::ResolveMiss(std::uint32_t variable,
         {tick_, variable, victim, CacheEvent::Kind::kMiss, evicted,
          wrote_back});
   }
+  if (obs_.trace != nullptr) {
+    const std::array<obs::TraceRecorder::Arg, 3> args{
+        obs::TraceRecorder::Arg{key_variable_, false, variable},
+        obs::TraceRecorder::Arg{key_evicted_, false, evicted},
+        obs::TraceRecorder::Arg{key_wrote_back_, false,
+                                wrote_back ? std::uint64_t{1}
+                                           : std::uint64_t{0}}};
+    obs_.trace->Instant(trace_miss_, obs_.pid, obs_.tid,
+                        engine_.DeviceStats().makespan_ns, args);
+  }
+  if (obs_.metrics != nullptr) {
+    ++*m_misses_;
+    ++*m_fills_;
+    if (wrote_back) ++*m_writebacks_;
+  }
   return victim;
 }
 
@@ -291,9 +331,21 @@ void CacheEngine::ExecutePendingFills(const core::Placement& placement,
   if (fill_requests_.empty()) return;
 
   const std::uint64_t before = controller.stats().shifts;
+  const double makespan_before = controller.stats().makespan_ns;
   controller.ExecuteBatch(fill_requests_);
-  running_.fill_shifts += controller.stats().shifts - before;
+  const std::uint64_t sweep_shifts = controller.stats().shifts - before;
+  running_.fill_shifts += sweep_shifts;
   running_.fill_accesses += fill_requests_.size();
+  if (obs_.trace != nullptr) {
+    const std::array<obs::TraceRecorder::Arg, 2> args{
+        obs::TraceRecorder::Arg{key_requests_, false, fill_requests_.size()},
+        obs::TraceRecorder::Arg{key_shifts_, false, sweep_shifts}};
+    obs_.trace->Complete(trace_fill_sweep_, obs_.pid, obs_.tid,
+                         makespan_before,
+                         controller.stats().makespan_ns - makespan_before,
+                         args);
+  }
+  if (m_fill_shifts_ != nullptr) *m_fill_shifts_ += sweep_shifts;
 }
 
 CacheResult CacheEngine::Finish() {

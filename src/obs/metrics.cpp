@@ -1,0 +1,119 @@
+// rtmlint: hot-path — see metrics.h.
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/json.h"
+
+namespace rtmp::obs {
+
+std::size_t Histogram::BucketOf(std::uint64_t value) noexcept {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::BucketLow(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  return std::uint64_t{1} << (bucket - 1);
+}
+
+std::uint64_t Histogram::BucketHigh(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+void Histogram::Merge(const Histogram& other) noexcept {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t Histogram::Quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  double rank_real = std::ceil(q * static_cast<double>(total_));
+  if (rank_real < 1.0) rank_real = 1.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(rank_real);
+  if (rank > total_) rank = total_;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) return BucketHigh(b);
+  }
+  return BucketHigh(kNumBuckets - 1);
+}
+
+void Histogram::WriteJson(util::JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Member("count", total_);
+  writer.Member("p50", Quantile(0.5));
+  writer.Member("p95", Quantile(0.95));
+  writer.Member("p99", Quantile(0.99));
+  writer.Member("p999", Quantile(0.999));
+  writer.Key("buckets");
+  writer.BeginArray();
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    writer.BeginArray();
+    writer.UInt(BucketLow(b));
+    writer.UInt(counts_[b]);
+    writer.EndArray();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+std::uint64_t& MetricsRegistry::Counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), 0).first->second;
+}
+
+double& MetricsRegistry::Gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), 0.0).first->second;
+}
+
+Histogram& MetricsRegistry::Hist(std::string_view name) {
+  const auto it = hists_.find(name);
+  if (it != hists_.end()) return it->second;
+  return hists_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) Counter(name) += value;
+  for (const auto& [name, value] : other.gauges_) Gauge(name) += value;
+  for (const auto& [name, hist] : other.hists_) Hist(name).Merge(hist);
+}
+
+void MetricsRegistry::WriteJson(util::JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const auto& [name, value] : counters_) writer.Member(name, value);
+  writer.EndObject();
+  writer.Key("gauges");
+  writer.BeginObject();
+  for (const auto& [name, value] : gauges_) writer.Member(name, value);
+  writer.EndObject();
+  writer.Key("histograms");
+  writer.BeginObject();
+  for (const auto& [name, hist] : hists_) {
+    writer.Key(name);
+    hist.WriteJson(writer);
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string MetricsRegistry::ToJson(int indent) const {
+  std::string out;
+  util::JsonWriter writer(&out, indent);
+  WriteJson(writer);
+  return out;
+}
+
+}  // namespace rtmp::obs

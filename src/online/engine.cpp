@@ -3,6 +3,7 @@
 #include "online/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdlib>
 #include <istream>
@@ -13,6 +14,8 @@
 #include "core/cost_evaluator.h"
 #include "core/cost_model.h"
 #include "core/strategy_registry.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "online/migration.h"
 #include "util/rng.h"
 
@@ -43,6 +46,62 @@ OnlineEngine::OnlineEngine(OnlineConfig config, rtm::RtmConfig device)
         "OnlineEngine: unregistered re-seed strategy '" +
         config_.reseed_strategy + "'");
   }
+  SetUpObs();
+}
+
+void OnlineEngine::SetUpObs() {
+  obs_ = config_.obs;
+  if (obs_.trace != nullptr) {
+    trace_window_ = obs_.trace->Intern("window");
+    trace_migration_ = obs_.trace->Intern("migration");
+    trace_phase_change_ = obs_.trace->Intern("phase-change");
+    trace_budget_denied_ = obs_.trace->Intern("budget-denied");
+    key_window_ = obs_.trace->Intern("window_index");
+    key_accesses_ = obs_.trace->Intern("accesses");
+    key_shifts_ = obs_.trace->Intern("shifts");
+    key_moved_ = obs_.trace->Intern("moved_vars");
+  }
+  if (obs_.metrics != nullptr) {
+    m_windows_ = &obs_.metrics->Counter("online/windows");
+    m_phase_changes_ = &obs_.metrics->Counter("online/phase_changes");
+    m_migrations_ = &obs_.metrics->Counter("online/migrations");
+    m_budget_denials_ = &obs_.metrics->Counter("online/budget_denials");
+    m_service_shifts_ = &obs_.metrics->Counter("online/service_shifts");
+    m_migration_shifts_ = &obs_.metrics->Counter("online/migration_shifts");
+    latency_hist_ = &obs_.metrics->Hist("online/window_latency_ns");
+  }
+}
+
+void OnlineEngine::RecordWindowObs(const WindowRecord& record,
+                                   double begin_ns) {
+  if (obs_.trace != nullptr) {
+    const std::array<obs::TraceRecorder::Arg, 3> args{
+        obs::TraceRecorder::Arg{
+            key_window_, false,
+            static_cast<std::uint64_t>(windows_processed_)},
+        obs::TraceRecorder::Arg{key_accesses_, false, record.accesses},
+        obs::TraceRecorder::Arg{key_shifts_, false, record.service_shifts}};
+    obs_.trace->Complete(trace_window_, obs_.pid, obs_.tid, begin_ns,
+                         record.latency_ns, args);
+  }
+  if (obs_.metrics != nullptr) {
+    ++*m_windows_;
+    *m_service_shifts_ += record.service_shifts;
+    *m_migration_shifts_ += record.migration_shifts;
+    if (record.phase_change) ++*m_phase_changes_;
+    latency_hist_->Record(
+        static_cast<std::uint64_t>(std::llround(record.latency_ns)));
+  }
+}
+
+void OnlineEngine::RecordBudgetDenialObs(std::uint64_t estimated_shifts) {
+  if (obs_.trace != nullptr) {
+    const std::array<obs::TraceRecorder::Arg, 1> args{
+        obs::TraceRecorder::Arg{key_shifts_, false, estimated_shifts}};
+    obs_.trace->Instant(trace_budget_denied_, obs_.pid, obs_.tid,
+                        controller_.stats().makespan_ns, args);
+  }
+  if (m_budget_denials_ != nullptr) ++*m_budget_denials_;
 }
 
 trace::VariableId OnlineEngine::RegisterVariable(std::string_view name) {
@@ -239,6 +298,7 @@ bool OnlineEngine::Refine(WindowRecord& record) {
       !config_.migration_gate(plan.estimated_shifts)) {
     record.budget_denied = true;
     ++result_.budget_denials;
+    RecordBudgetDenialObs(plan.estimated_shifts);
     return false;
   }
   ChargeMigration(plan, record);
@@ -251,6 +311,7 @@ void OnlineEngine::ChargeMigration(const MigrationPlan& plan,
   if (plan.empty()) return;
   if (config_.charge_migration) {
     const std::uint64_t shifts_before = controller_.stats().shifts;
+    const double makespan_before = controller_.stats().makespan_ns;
     (void)controller_.Execute(plan.requests);
     const std::uint64_t shifts =
         controller_.stats().shifts - shifts_before;
@@ -260,11 +321,21 @@ void OnlineEngine::ChargeMigration(const MigrationPlan& plan,
     // One read at the old slot, one write at the new, per moved variable.
     result_.reads += plan.moves.size();
     result_.writes += plan.moves.size();
+    if (obs_.trace != nullptr) {
+      const std::array<obs::TraceRecorder::Arg, 2> args{
+          obs::TraceRecorder::Arg{key_moved_, false, plan.moves.size()},
+          obs::TraceRecorder::Arg{key_shifts_, false, shifts}};
+      obs_.trace->Complete(trace_migration_, obs_.pid, obs_.tid,
+                           makespan_before,
+                           controller_.stats().makespan_ns - makespan_before,
+                           args);
+    }
   }
   record.replaced = true;
   record.migrated_vars += plan.moves.size();
   ++result_.migrations;
   result_.migrated_vars += plan.moves.size();
+  if (m_migrations_ != nullptr) ++*m_migrations_;
 }
 
 void OnlineEngine::ServeWindow(WindowRecord& record,
@@ -346,6 +417,7 @@ void OnlineEngine::ProcessWindowFromSpan(std::span<const trace::Access> block,
   if (pre_serve_hook_) pre_serve_hook_(placement_, controller_);
   ServeWindow(record, block, id_offset);
   record.latency_ns = controller_.stats().makespan_ns - makespan_before;
+  if (obs_.enabled()) RecordWindowObs(record, makespan_before);
   result_.windows.push_back(record);
   served_accesses_ += block.size();
   ++windows_processed_;
@@ -376,6 +448,14 @@ void OnlineEngine::ProcessWindow() {
     record.phase_change = verdict.phase_change;
     record.drift = verdict.drift;
     if (verdict.phase_change) {
+      if (obs_.trace != nullptr) {
+        const std::array<obs::TraceRecorder::Arg, 1> args{
+            obs::TraceRecorder::Arg{
+                key_window_, false,
+                static_cast<std::uint64_t>(windows_processed_)}};
+        obs_.trace->Instant(trace_phase_change_, obs_.pid, obs_.tid,
+                            controller_.stats().makespan_ns, args);
+      }
       core::Placement candidate = Reseed();
       MigrationPlan plan;
       if (config_.migration_fraction < 1.0 ||
@@ -409,6 +489,7 @@ void OnlineEngine::ProcessWindow() {
             !config_.migration_gate(plan.estimated_shifts)) {
           record.budget_denied = true;
           ++result_.budget_denials;
+          RecordBudgetDenialObs(plan.estimated_shifts);
           accept = false;
         }
         if (accept) {
@@ -429,6 +510,7 @@ void OnlineEngine::ProcessWindow() {
   // request-building pass and books it into result_.placement_cost.
   ServeWindow(record, window_seq_.accesses(), 0);
   record.latency_ns = controller_.stats().makespan_ns - makespan_before;
+  if (obs_.enabled()) RecordWindowObs(record, makespan_before);
   result_.windows.push_back(record);
   served_accesses_ += window_seq_.size();
   window_seq_.ClearAccesses();

@@ -46,12 +46,17 @@
 
 #include "core/placement.h"
 #include "core/strategy.h"
+#include "obs/obs.h"
 #include "online/phase_detector.h"
 #include "rtm/config.h"
 #include "rtm/controller.h"
 #include "rtm/energy_model.h"
 #include "trace/access_sequence.h"
 #include "trace/trace_stream.h"
+
+namespace rtmp::obs {
+class Histogram;
+}  // namespace rtmp::obs
 
 namespace rtmp::online {
 
@@ -99,6 +104,12 @@ struct OnlineConfig {
   std::function<bool(std::uint64_t)> migration_gate;
   /// Controller timing mode for service and migration traffic.
   rtm::ControllerConfig controller{};
+  /// Observability sinks (obs/obs.h). Default = disabled: every
+  /// recording site is behind a null check, so the hot path is
+  /// untouched (the `throughput` golden pins this). Trace names and
+  /// metric references are resolved once at construction; per-window
+  /// recording is allocation-free.
+  obs::ObsConfig obs{};
   /// Strategy tuning handed to every re-seed run (effort, cost options,
   /// base seeds). Window 0 uses the seeds verbatim — the single-window
   /// oracle is bit-identical to the static strategy; later windows use
@@ -297,6 +308,12 @@ class OnlineEngine {
   void ServeWindow(WindowRecord& record,
                    std::span<const trace::Access> accesses,
                    trace::VariableId id_offset);
+  /// Interns trace names and resolves metric references (constructor).
+  void SetUpObs();
+  /// Emits the window span + per-window metrics (both window paths).
+  void RecordWindowObs(const WindowRecord& record, double begin_ns);
+  /// Emits the budget-denied instant + counter (both denial sites).
+  void RecordBudgetDenialObs(std::uint64_t estimated_shifts);
 
   OnlineConfig config_;
   rtm::RtmConfig device_config_;
@@ -320,6 +337,25 @@ class OnlineEngine {
   /// Per-DBC last-offset scratch for the fused single-port window cost
   /// (the SinglePortCosts walk folded into the request-building pass).
   std::vector<std::int64_t> last_off_scratch_;
+  /// Observability wiring, resolved once by SetUpObs(): interned trace
+  /// names/arg keys and stable metric references, so the per-window
+  /// recording sites are null-checked pointer writes.
+  obs::ObsConfig obs_{};
+  std::uint32_t trace_window_ = 0;
+  std::uint32_t trace_migration_ = 0;
+  std::uint32_t trace_phase_change_ = 0;
+  std::uint32_t trace_budget_denied_ = 0;
+  std::uint32_t key_window_ = 0;
+  std::uint32_t key_accesses_ = 0;
+  std::uint32_t key_shifts_ = 0;
+  std::uint32_t key_moved_ = 0;
+  std::uint64_t* m_windows_ = nullptr;
+  std::uint64_t* m_phase_changes_ = nullptr;
+  std::uint64_t* m_migrations_ = nullptr;
+  std::uint64_t* m_budget_denials_ = nullptr;
+  std::uint64_t* m_service_shifts_ = nullptr;
+  std::uint64_t* m_migration_shifts_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
 };
 
 /// Convenience: feeds a whole sequence through one session.

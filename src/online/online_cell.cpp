@@ -37,6 +37,9 @@ OnlineConfig CellOnlineConfig(const OnlinePolicy& policy,
       (options.seed + sequence_index * 0x9E3779B9ULL + dbcs);
   online.strategy_options.ga.seed = seed;
   online.strategy_options.rw.seed = seed;
+  // Observability rides along; within a cell, tid tells sequences apart.
+  online.obs = options.obs;
+  online.obs.tid = static_cast<std::uint32_t>(sequence_index);
   return online;
 }
 

@@ -37,6 +37,9 @@ ServeConfig CellServeConfig(const ServePolicy& policy,
                              (options.seed + dbcs);
   serve.engine.strategy_options.ga.seed = seed;
   serve.engine.strategy_options.rw.seed = seed;
+  // Observability rides along; PlacementService::Run re-stamps tid with
+  // the shard index per shard engine.
+  serve.obs = options.obs;
   return serve;
 }
 

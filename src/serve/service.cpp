@@ -1,11 +1,15 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "obs/trace_recorder.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -222,6 +226,18 @@ PlacementService::PlacementService(ServeConfig config, rtm::RtmConfig device)
           "PlacementService: shard weights must be >= 1");
     }
   }
+  obs_ = config_.obs;
+  if (obs_.trace != nullptr) {
+    trace_turn_ = obs_.trace->Intern("turn");
+    trace_budget_denied_ = obs_.trace->Intern("budget-denied");
+    key_tenant_ = obs_.trace->Intern("tenant");
+    key_accesses_ = obs_.trace->Intern("accesses");
+    key_shifts_ = obs_.trace->Intern("shifts");
+  }
+  if (obs_.metrics != nullptr) {
+    m_turns_ = &obs_.metrics->Counter("serve/turns");
+    m_budget_denials_ = &obs_.metrics->Counter("serve/budget_denials");
+  }
 }
 
 std::size_t PlacementService::AssignShard(
@@ -284,6 +300,7 @@ void PlacementService::ServeTurn(Session& session, ShardEngine& engine,
   const std::uint64_t requests_before = engine.DeviceStats().requests;
   const rtm::EnergyBreakdown energy_before = engine.DeviceEnergy();
   const cache::CacheStats cache_before = engine.CacheStatsNow();
+  const double makespan_before = engine.DeviceStats().makespan_ns;
 
   // The whole quantum goes down as one batched span — one engine call
   // per turn, remapped into the tenant's shard-local id space — instead
@@ -315,6 +332,34 @@ void PlacementService::ServeTurn(Session& session, ShardEngine& engine,
   stats.placement_cost += record.window_cost;
   stats.exposed_latency_ns += record.latency_ns;
   stats.window_latencies.push_back(record.latency_ns);
+  // Always-on latency distribution: the tenant's and the service's own
+  // device-level histogram see the same rounded sample, which is what
+  // makes the tenant-merge == device equality exact.
+  const std::uint64_t latency_sample =
+      static_cast<std::uint64_t>(std::llround(record.latency_ns));
+  stats.latency_hist.Record(latency_sample);
+  latency_hist_.Record(latency_sample);
+
+  if (obs_.trace != nullptr) {
+    const auto tid = static_cast<std::uint32_t>(session.shard);
+    const double makespan_after = engine.DeviceStats().makespan_ns;
+    const std::array<obs::TraceRecorder::Arg, 3> args{
+        obs::TraceRecorder::Arg{key_tenant_, true, session.trace_name},
+        obs::TraceRecorder::Arg{key_accesses_, false, quantum},
+        obs::TraceRecorder::Arg{key_shifts_, false, record.service_shifts}};
+    obs_.trace->Complete(trace_turn_, obs_.pid, tid, makespan_before,
+                         makespan_after - makespan_before, args);
+    if (record.budget_denied) {
+      const std::array<obs::TraceRecorder::Arg, 1> denied{
+          obs::TraceRecorder::Arg{key_tenant_, true, session.trace_name}};
+      obs_.trace->Instant(trace_budget_denied_, obs_.pid, tid, makespan_after,
+                          denied);
+    }
+  }
+  if (m_turns_ != nullptr) ++*m_turns_;
+  if (record.budget_denied && m_budget_denials_ != nullptr) {
+    ++*m_budget_denials_;
+  }
 
   const rtm::EnergyBreakdown energy_after = engine.DeviceEnergy();
   stats.energy.leakage_pj += energy_after.leakage_pj - energy_before.leakage_pj;
@@ -354,6 +399,13 @@ ServeResult PlacementService::Run() {
   for (std::size_t s = 0; s < shards; ++s) {
     online::OnlineConfig engine_config = recipe;
     engine_config.controller.shared_channel = &channel_;
+    // Shard engines inherit the service's sinks on their own trace row.
+    engine_config.obs = config_.obs;
+    engine_config.obs.tid = static_cast<std::uint32_t>(s);
+    if (obs_.trace != nullptr) {
+      obs_.trace->SetThreadName(obs_.pid, static_cast<std::uint32_t>(s),
+                                "shard " + std::to_string(s));
+    }
     engine_config.strategy_options.ga.seed =
         online::WindowSeed(recipe.strategy_options.ga.seed, s);
     engine_config.strategy_options.rw.seed =
@@ -403,6 +455,9 @@ ServeResult PlacementService::Run() {
       }
       result.tenants[i].name = session.name;
       result.tenants[i].shard = s;
+      if (obs_.trace != nullptr) {
+        session.trace_name = obs_.trace->Intern(session.name);
+      }
     }
   }
   if (cache_mode && config_.cache.tenant_quota_slots != 0) {
@@ -474,6 +529,7 @@ ServeResult PlacementService::Run() {
                         result.cache.fill_shifts;
   result.budget_granted = budget_.granted();
   result.budget_spent = budget_.spent();
+  result.latency_hist = latency_hist_;
 
   std::vector<double> mean_latencies;
   for (const TenantStats& tenant : result.tenants) {

@@ -46,6 +46,8 @@
 #include <vector>
 
 #include "cache/engine.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "online/engine.h"
 #include "rtm/config.h"
 #include "rtm/controller.h"
@@ -190,6 +192,12 @@ struct ServeConfig {
   online::OnlineConfig engine{};
   /// Hybrid-memory mode; disabled by default (plain shard engines).
   ServeCacheConfig cache{};
+  /// Observability sinks (obs/obs.h), forwarded into every shard engine
+  /// with tid = shard index; the service adds per-turn spans with tenant
+  /// attribution and budget-denial instants. Default = disabled. The
+  /// per-tenant latency histograms below are ALWAYS on — one integer
+  /// Record per turn — so quantiles are available without wiring.
+  obs::ObsConfig obs{};
 };
 
 /// Everything attributed to one tenant across its turns.
@@ -217,6 +225,11 @@ struct TenantStats {
   double exposed_latency_ns = 0.0;
   /// Per-window exposed latencies (fairness is scored on their mean).
   std::vector<double> window_latencies;
+  /// Exposed-latency distribution (log2 buckets over rounded
+  /// latency_ns). Tenant histograms Merge to ServeResult::latency_hist
+  /// EXACTLY — the attribution invariant extended to distributions;
+  /// read p50/p99 via Quantile().
+  obs::Histogram latency_hist{};
   /// Energy delta across the tenant's turns (leakage follows makespan
   /// advance, so shared-channel waits are charged to the waiting tenant).
   rtm::EnergyBreakdown energy{};
@@ -267,6 +280,10 @@ struct ServeResult {
   /// the channel, so this is the service makespan).
   double makespan_ns = 0.0;
   rtm::EnergyBreakdown energy{};
+  /// Device-level exposed-latency distribution, recorded per turn by
+  /// the service itself (not derived from the tenant histograms — their
+  /// exact-Merge equality to this one is a tested invariant).
+  obs::Histogram latency_hist{};
   /// Jain fairness index over the mean per-window exposed latency of
   /// every tenant that served at least one window.
   double fairness = 1.0;
@@ -312,6 +329,8 @@ class PlacementService {
     /// First engine variable id of this tenant's (prefixed) space.
     trace::VariableId base_id = 0;
     std::size_t cursor = 0;  ///< next un-fed access
+    /// Interned tenant name for turn-span attribution (trace enabled).
+    std::uint32_t trace_name = 0;
   };
 
   /// One shard's engine: the bare adaptive engine, or — in hybrid-memory
@@ -347,6 +366,17 @@ class PlacementService {
   /// Accumulated transition weight per shard (kLeastLoaded bookkeeping).
   std::vector<std::uint64_t> shard_load_;
   bool finished_ = false;
+  /// Device-level latency histogram, fed once per turn (always on).
+  obs::Histogram latency_hist_{};
+  /// Observability wiring resolved at construction (see ServeConfig::obs).
+  obs::ObsConfig obs_{};
+  std::uint32_t trace_turn_ = 0;
+  std::uint32_t trace_budget_denied_ = 0;
+  std::uint32_t key_tenant_ = 0;
+  std::uint32_t key_accesses_ = 0;
+  std::uint32_t key_shifts_ = 0;
+  std::uint64_t* m_turns_ = nullptr;
+  std::uint64_t* m_budget_denials_ = nullptr;
 };
 
 }  // namespace rtmp::serve

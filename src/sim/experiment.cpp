@@ -1,11 +1,13 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -14,6 +16,8 @@
 #include "cache/cache_cell.h"
 #include "cache/cache_policy.h"
 #include "core/strategy_registry.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "online/online_cell.h"
 #include "online/policy.h"
 #include "serve/serve_cell.h"
@@ -364,6 +368,18 @@ std::vector<RunResult> RunMatrixImpl(
   const unsigned threads = ResolveThreadCount(options.num_threads,
                                               cells.size());
 
+  // Observability: each cell records into PRIVATE sinks (pid = cell
+  // index) that are merged into the caller's sinks in grid order after
+  // the parallel run — the emitted trace/metrics are therefore invariant
+  // under RTMPLACE_THREADS and rerun even though cells finish in any
+  // order.
+  struct CellObs {
+    std::unique_ptr<obs::TraceRecorder> trace;
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+  };
+  const bool obs_on = options.obs.enabled();
+  std::vector<CellObs> cell_obs(obs_on ? cells.size() : 0);
+
   // Each worker claims the next unstarted cell and writes its result into
   // the cell's fixed slot; a lock serializes only the progress callback.
   std::atomic<std::size_t> next{0};
@@ -378,15 +394,30 @@ std::vector<RunResult> RunMatrixImpl(
       if (i >= cells.size()) return;
       const Cell& cell = cells[i];
       try {
+        const ExperimentOptions* run_options = &options;
+        ExperimentOptions cell_options;
+        if (obs_on) {
+          cell_options = options;
+          if (options.obs.trace != nullptr) {
+            cell_obs[i].trace = std::make_unique<obs::TraceRecorder>();
+            cell_options.obs.trace = cell_obs[i].trace.get();
+          }
+          if (options.obs.metrics != nullptr) {
+            cell_obs[i].metrics = std::make_unique<obs::MetricsRegistry>();
+            cell_options.obs.metrics = cell_obs[i].metrics.get();
+          }
+          cell_options.obs.pid = static_cast<std::uint32_t>(i);
+          run_options = &cell_options;
+        }
         const bool streamed = cell.benchmark < stream_paths.size() &&
                               !stream_paths[cell.benchmark].empty();
         results[i] =
             streamed ? RunStreamedTraceCell(stream_paths[cell.benchmark],
                                             cell.dbcs,
                                             strategy_names[cell.strategy],
-                                            options)
+                                            *run_options)
                      : RunCell(suite[cell.benchmark], cell.dbcs,
-                               strategy_names[cell.strategy], options);
+                               strategy_names[cell.strategy], *run_options);
         if (options.progress) {
           const std::lock_guard<std::mutex> lock(mutex);
           options.progress(results[i], ++completed, cells.size());
@@ -412,6 +443,46 @@ std::vector<RunResult> RunMatrixImpl(
     WorkerPool::Global().Run(threads, worker);
   }
   if (error) std::rethrow_exception(error);
+
+  if (obs_on) {
+    // Merge the per-cell sinks in grid order and label each cell's trace
+    // row. The "cell" span covers the cell's simulated makespan on a
+    // synthetic tid 0; the cell's own engine events sit next to it under
+    // the same pid.
+    obs::TraceRecorder* trace = options.obs.trace;
+    std::uint32_t trace_cell = 0;
+    std::uint32_t key_shifts = 0;
+    std::uint32_t key_accesses = 0;
+    if (trace != nullptr) {
+      trace_cell = trace->Intern("cell");
+      key_shifts = trace->Intern("shifts");
+      key_accesses = trace->Intern("accesses");
+    }
+    std::uint64_t* cells_counter =
+        options.obs.metrics != nullptr
+            ? &options.obs.metrics->Counter("sim/cells")
+            : nullptr;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const RunResult& run = results[i];
+      if (trace != nullptr) {
+        const auto pid = static_cast<std::uint32_t>(i);
+        trace->SetProcessName(pid, run.benchmark + "/" +
+                                       std::to_string(run.dbcs) + "dbc/" +
+                                       run.strategy_name);
+        const std::array<obs::TraceRecorder::Arg, 2> args{
+            obs::TraceRecorder::Arg{key_shifts, false, run.metrics.shifts},
+            obs::TraceRecorder::Arg{key_accesses, false,
+                                    run.metrics.accesses}};
+        trace->Complete(trace_cell, pid, 0, 0.0, run.metrics.runtime_ns,
+                        args);
+        if (cell_obs[i].trace != nullptr) trace->Merge(*cell_obs[i].trace);
+      }
+      if (options.obs.metrics != nullptr && cell_obs[i].metrics != nullptr) {
+        options.obs.metrics->Merge(*cell_obs[i].metrics);
+      }
+      if (cells_counter != nullptr) ++*cells_counter;
+    }
+  }
   return results;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/strategy.h"
+#include "obs/obs.h"
 #include "offsetstone/suite.h"
 #include "rtm/config.h"
 #include "rtm/energy_model.h"
@@ -113,6 +114,13 @@ struct ExperimentOptions {
   /// always materialize. Off by default — materializing once and
   /// sharing the benchmark across cells is faster for files that fit.
   bool stream_trace_files = false;
+  /// Observability sinks (obs/obs.h), forwarded into every cell's engine
+  /// config. RunMatrix gives each cell a PRIVATE recorder/registry
+  /// (pid = cell index) and merges them into these sinks in grid order
+  /// after the parallel run, plus a per-cell "cell" span — so the
+  /// emitted trace and metrics snapshot are invariant under
+  /// RTMPLACE_THREADS and rerun. Default = disabled.
+  obs::ObsConfig obs{};
 };
 
 /// Device configuration of one experiment cell: the paper's device for

@@ -57,6 +57,8 @@ struct BaselineMatchResult {
 /// stamping `default_reason` on new ones.
 [[nodiscard]] Baseline MakeBaseline(
     const std::vector<Finding>& findings, const Baseline& previous,
-    std::string_view default_reason = "TODO: justify or fix");
+    std::string_view default_reason =
+        "grandfathered by --write-baseline; replace with a specific "
+        "justification");
 
 }  // namespace rtmp::rtmlint

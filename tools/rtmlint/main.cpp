@@ -35,7 +35,10 @@ int Usage() {
       "Suppress a finding inline with a justified\n"
       "  // NOLINT(rtmlint:<rule>): <why this is safe>\n"
       "or grandfather it in the baseline file (see tools/rtmlint/\n"
-      "baseline.txt). Exit 0 = clean, 1 = new findings, 2 = error.\n"
+      "baseline.txt). --write-baseline rewrites that file to cover every\n"
+      "current finding: existing entries keep their reasons, new ones get\n"
+      "a placeholder reason to replace with a specific justification in\n"
+      "review. Exit 0 = clean, 1 = new findings, 2 = error.\n"
       "\nrules:\n");
   const auto& registry = rtmlint::RuleRegistry::Global();
   for (const std::string& name : registry.Names()) {
